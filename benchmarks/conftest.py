@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+The expensive artifacts (full-network compilations) are computed once per
+session and shared; each benchmark file times a representative kernel of
+its experiment with pytest-benchmark and prints + saves the reproduced
+table/figure under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.efficiency import evaluate_network
+from repro.fpga.devices import get_device
+from repro.overlay.config import PAPER_EXAMPLE_CONFIG
+from repro.workloads.mlperf import build_model
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write a reproduced table/figure to benchmarks/out/ and stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text)
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def vu125():
+    return get_device("vu125")
+
+
+@pytest.fixture(scope="session")
+def virtex():
+    return get_device("7vx330t")
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    return PAPER_EXAMPLE_CONFIG
+
+
+@pytest.fixture(scope="session")
+def googlenet_result(paper_config):
+    """GoogLeNet compiled on the paper's example overlay (Objective 1)."""
+    return evaluate_network(build_model("GoogLeNet"), paper_config)
+
+
+@pytest.fixture(scope="session")
+def resnet50_result(paper_config):
+    """ResNet50 compiled on the paper's example overlay (Objective 1)."""
+    return evaluate_network(build_model("ResNet50"), paper_config)

@@ -1,0 +1,66 @@
+"""Ablation: batch size vs hardware efficiency on MM workloads.
+
+The paper's introduction argues that competing designs need large batches
+to stay efficient, which is "infeasible for edge devices that need low
+latency".  This study quantifies the batch effect on FTDL itself for the
+seqLSTM's gate MM: batch-1 is weight-bandwidth-bound, and efficiency
+climbs with batch as each streamed weight amortizes over more MACCs —
+until compute binds.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.compiler.search import schedule_layer
+from repro.workloads.layers import MatMulLayer
+from repro.workloads.models.sentiment import SEQLSTM_HIDDEN
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _gate_mm(batch: int) -> MatMulLayer:
+    return MatMulLayer(
+        name=f"lstm_gates_b{batch}",
+        in_features=2 * SEQLSTM_HIDDEN,
+        out_features=4 * SEQLSTM_HIDDEN,
+        batch=batch,
+    )
+
+
+def test_batch_sweep(benchmark, paper_config):
+    def sweep():
+        return {
+            batch: schedule_layer(_gate_mm(batch), paper_config)
+            for batch in BATCHES
+        }
+
+    schedules = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Batch sweep — seqLSTM fused-gate MM (2234 -> 4468) on the paper "
+        "overlay, weights streamed",
+        f"{'batch':>6s} {'cycles':>10s} {'eff':>7s} {'eff/frame-pair':>15s} "
+        f"{'bound':>8s}",
+    ]
+    prev_eff = 0.0
+    for batch, schedule in schedules.items():
+        est = schedule.estimate
+        lines.append(
+            f"{batch:6d} {est.c_exe:10,d} {est.hardware_efficiency:7.1%} "
+            f"{est.hardware_efficiency / max(prev_eff, 1e-9):14.2f}x "
+            f"{est.bottleneck:>8s}"
+        )
+        prev_eff = est.hardware_efficiency
+    save_artifact("ablation_batch.txt", "\n".join(lines))
+
+    effs = [s.estimate.hardware_efficiency for s in schedules.values()]
+    # Efficiency is monotone non-decreasing in batch ...
+    assert all(b >= a * 0.98 for a, b in zip(effs, effs[1:]))
+    # ... starts bandwidth-bound and ends at least 10x better.
+    assert effs[0] < 0.05
+    assert effs[-1] > 10 * effs[0]
+    # Latency per batch grows sublinearly until compute binds: batch-64
+    # costs far less than 64x the batch-1 cycles.
+    c1 = schedules[1].estimate.c_exe
+    c64 = schedules[64].estimate.c_exe
+    assert c64 < 8 * c1

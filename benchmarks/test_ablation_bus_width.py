@@ -1,0 +1,80 @@
+"""Ablation: on-chip bus width sensitivity.
+
+The paper's Eqn 8 charges each LoopL round only the T-tile footprint,
+which implies the ActBUS delivers one word per TPE per cycle (this
+repository's default, a 16*D1-bit row bus).  This study sweeps both bus
+widths on a representative GoogLeNet layer slice and quantifies how the
+interpretation matters.  Measured finding: the scheduler partially
+*adapts* to narrow buses by choosing higher-reuse tilings, so the
+efficiency cost is real but much smaller than the raw bandwidth ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import save_artifact
+from repro.compiler.cache import ScheduleCache
+from repro.workloads.mlperf import build_model
+
+#: (actbus words/cycle or None = one/TPE, psumbus words/cycle)
+SWEEP = [
+    (1.0, 1.0),
+    (2.0, 2.0),
+    (4.0, 4.0),
+    (None, 4.0),
+    (None, 8.0),
+]
+
+#: Representative slice: the inception-3a module plus conv2 (mix of 1x1,
+#: 3x3, 5x5 shapes; small enough to recompile per bus setting).
+LAYER_NAMES = (
+    "conv2.reduce", "conv2.3x3", "3a.b1.1x1", "3a.b2.reduce",
+    "3a.b2.3x3", "3a.b3.reduce", "3a.b3.5x5", "3a.b4.proj",
+)
+
+
+def test_bus_width_sensitivity(benchmark, paper_config):
+    net = build_model("GoogLeNet")
+    layers = [l for l in net.accelerated_layers() if l.name in LAYER_NAMES]
+    assert len(layers) == len(LAYER_NAMES)
+    maccs = sum(l.maccs for l in layers)
+
+    def sweep():
+        rows = []
+        for act_wpc, psum_wpc in SWEEP:
+            config = dataclasses.replace(
+                paper_config,
+                actbus_words_per_cycle=act_wpc,
+                psumbus_words_per_cycle=psum_wpc,
+            )
+            cache = ScheduleCache(config)
+            cycles = sum(cache.schedule(l).cycles for l in layers)
+            eff = maccs / (config.n_tpe * cycles)
+            rows.append((act_wpc, psum_wpc, cycles, eff))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Bus-width sensitivity — conv2 + inception-3a slice of GoogLeNet",
+        f"{'ActBUS w/cyc':>13s} {'PSumBUS w/cyc':>14s} {'cycles':>10s} "
+        f"{'slice eff':>10s}",
+    ]
+    for act_wpc, psum_wpc, cycles, eff in rows:
+        act_label = "1/TPE" if act_wpc is None else f"{act_wpc:.0f}"
+        lines.append(
+            f"{act_label:>13s} {psum_wpc:14.0f} {cycles:10,d} {eff:10.1%}"
+        )
+    save_artifact("ablation_bus_width.txt", "\n".join(lines))
+
+    effs = [eff for *_rest, eff in rows]
+    # Wider buses never hurt.
+    assert all(b >= a * 0.999 for a, b in zip(effs, effs[1:]))
+    # Narrow buses measurably cost efficiency — but far less than the raw
+    # bandwidth ratio, because the scheduler adapts (it picks tiles with
+    # more on-chip reuse when the buses shrink).  The default width
+    # recovers the paper's >80 % regime on this slice.
+    assert effs[-1] > 1.05 * effs[0]
+    assert effs[-1] > 0.85
+    assert effs[0] > 0.5  # adaptive scheduling keeps narrow buses viable

@@ -1,0 +1,42 @@
+"""Ablation: double-buffered control flow (§III-E).
+
+With double buffering off, communication and computation serialize
+(C_exe = sum instead of Eqn 12's max); the study quantifies the hardware
+efficiency drop, which is largest on communication-heavy layers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import save_artifact
+from repro.analysis.efficiency import evaluate_network
+from repro.workloads.mlperf import build_model
+
+
+def test_double_buffer_ablation(benchmark, paper_config, googlenet_result):
+    serial_config = dataclasses.replace(paper_config, double_buffer=False)
+    net = build_model("GoogLeNet")
+
+    def evaluate_serial():
+        return evaluate_network(net, serial_config)
+
+    serial = benchmark.pedantic(evaluate_serial, rounds=1, iterations=1)
+    overlapped = googlenet_result
+
+    slowdown = overlapped.fps / serial.fps
+    text = "\n".join(
+        [
+            "Ablation — double buffering (GoogLeNet, paper overlay config)",
+            f"double-buffered: {overlapped.fps:8.1f} FPS, "
+            f"eff {overlapped.hardware_efficiency:.1%}",
+            f"serialized     : {serial.fps:8.1f} FPS, "
+            f"eff {serial.hardware_efficiency:.1%}",
+            f"overlap speedup: {slowdown:.2f}x",
+        ]
+    )
+    save_artifact("ablation_double_buffer.txt", text)
+
+    assert serial.fps < overlapped.fps
+    assert slowdown > 1.15
+    assert serial.hardware_efficiency < overlapped.hardware_efficiency

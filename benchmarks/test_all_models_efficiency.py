@@ -1,0 +1,76 @@
+"""Extension: hardware efficiency across all five Table I models.
+
+The paper reports end-to-end FPS only for GoogLeNet/ResNet50 but claims
+the compiler "maps most DL layers to the overlay with over 80 % hardware
+efficiency on average".  This bench runs every benchmark model through the
+compiler on the paper's platform and reports the per-model network
+efficiency — including the batch-1 LSTM, which is legitimately DRAM-bound
+(weights stream every frame and each word feeds exactly one MACC).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import save_artifact
+from repro.analysis.efficiency import evaluate_network
+from repro.workloads.mlperf import MLPERF_MODELS, build_model
+
+
+def test_all_models(benchmark, paper_config, googlenet_result, resnet50_result):
+    results = {
+        "GoogLeNet": googlenet_result,
+        "ResNet50": resnet50_result,
+    }
+    small = ("AlphaGoZero", "Sentimental-seqCNN", "Sentimental-seqLSTM")
+
+    def evaluate_small_models():
+        return {
+            name: evaluate_network(build_model(name), paper_config)
+            for name in small
+        }
+
+    results.update(benchmark.pedantic(evaluate_small_models, rounds=1,
+                                      iterations=1))
+
+    # The seqLSTM at batch 1 is weight-bandwidth-bound; with its weights
+    # resident (multi-FPGA deployment, §II-B1) the overlay's real
+    # efficiency on MM shows up.
+    resident = dataclasses.replace(paper_config, weights_resident=True)
+    lstm_resident = evaluate_network(
+        build_model("Sentimental-seqLSTM"), resident
+    )
+
+    lines = [
+        f"{'model':22s} {'FPS':>10s} {'HW eff':>8s} {'bound (majority)':>18s}",
+    ]
+    for name in MLPERF_MODELS:
+        result = results[name]
+        bounds = [l.bottleneck for l in result.layers]
+        majority = max(set(bounds), key=bounds.count)
+        lines.append(
+            f"{name:22s} {result.fps:10.1f} "
+            f"{result.hardware_efficiency:8.1%} {majority:>18s}"
+        )
+    lines.append(
+        f"{'seqLSTM (resident)':22s} {lstm_resident.fps:10.1f} "
+        f"{lstm_resident.hardware_efficiency:8.1%} "
+        f"{'(weights preloaded)':>18s}"
+    )
+    save_artifact("all_models_efficiency.txt", "\n".join(lines))
+
+    # CONV-dominated models clear the paper's 80 % band; the streamed
+    # batch-1 LSTM is bandwidth-bound by arithmetic necessity
+    # (2 ops per streamed 2-byte word at 26 GB/s caps it at ~26 GOPS).
+    for name in ("GoogLeNet", "ResNet50", "AlphaGoZero"):
+        assert results[name].hardware_efficiency > 0.75, name
+    assert results["Sentimental-seqCNN"].hardware_efficiency > 0.25
+    assert results["Sentimental-seqLSTM"].hardware_efficiency < 0.05
+    # Residency lifts the LSTM by an order of magnitude, up to the
+    # double-pump ceiling for batch-1 MM (each weight feeds one MACC, so
+    # the DSP stalls every other CLK_h cycle: efficiency caps at 50 %).
+    assert (
+        lstm_resident.hardware_efficiency
+        > 5 * results["Sentimental-seqLSTM"].hardware_efficiency
+    )
+    assert lstm_resident.hardware_efficiency <= 0.5

@@ -1,0 +1,73 @@
+"""Extension: deploy the overlay across the whole device catalogue.
+
+The paper claims FTDL "facilitates the users to deploy it on most FPGA
+devices while maintaining a high fmax" (§III-C).  This study picks, for
+every catalogued part, the largest overlay its column geometry hosts,
+and checks timing plus end-to-end AlphaGoZero throughput scaling.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.analysis.efficiency import evaluate_network
+from repro.fpga.devices import get_device, list_devices
+from repro.fpga.placement import place_overlay
+from repro.fpga.timing import TimingModel
+from repro.overlay.config import OverlayConfig
+from repro.workloads.mlperf import build_model
+
+#: Largest grid per device respecting the §III-D column constraints and
+#: the BRAM budget (each SuperBlock adds 2 PSumBUF BRAM18s, so parts with
+#: a 1:1 DSP:BRAM ratio cannot fill every DSP column).
+FULL_GRIDS = {
+    "7vx330t": (10, 7, 16),
+    "7vx690t": (12, 17, 15),
+    "vu125": (12, 5, 20),
+    "vu9p": (12, 28, 20),
+    "zu7ev": (12, 8, 14),
+}
+
+
+def test_device_portability(benchmark):
+    def sweep():
+        rows = []
+        for name in list_devices():
+            device = get_device(name)
+            grid = FULL_GRIDS[name]
+            placement = place_overlay(device, *grid)
+            report = TimingModel(device).report(placement)
+            rows.append((name, grid, placement.n_dsp_used, report))
+        return rows
+
+    rows = benchmark(sweep)
+
+    net = build_model("AlphaGoZero")
+    lines = [
+        "Device portability — largest overlay per catalogued part",
+        f"{'device':>9s} {'grid':>14s} {'DSPs':>6s} {'fmax':>6s} "
+        f"{'%peak':>7s} {'AGZ FPS':>9s} {'AGZ eff':>8s}",
+    ]
+    measurements = []
+    for name, grid, dsps, report in rows:
+        config = OverlayConfig(*grid, clk_h_mhz=float(int(report.fmax_mhz)))
+        result = evaluate_network(net, config)
+        lines.append(
+            f"{name:>9s} {str(grid):>14s} {dsps:6d} {report.fmax_mhz:6.0f} "
+            f"{report.fmax_fraction:7.1%} {result.fps:9.1f} "
+            f"{result.hardware_efficiency:8.1%}"
+        )
+        measurements.append((dsps, result.fps, result.hardware_efficiency))
+    lines.append(
+        "note: AlphaGoZero's 19x19/64-channel layers saturate the largest "
+        "grids - utilization, not fmax, caps the biggest parts."
+    )
+    save_artifact("ext_device_portability.txt", "\n".join(lines))
+
+    # Every part clears the 88 % claim - the portability statement.
+    for name, _grid, _dsps, report in rows:
+        assert report.fmax_fraction >= 0.88, name
+    measurements.sort()
+    # More DSPs help until the small model saturates the grid ...
+    assert measurements[-1][1] > 1.5 * measurements[0][1]
+    # ... and the saturation is visible as an efficiency drop.
+    assert measurements[-1][2] < measurements[0][2]

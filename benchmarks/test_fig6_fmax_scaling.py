@@ -1,0 +1,104 @@
+"""Fig. 6: post-place-and-route fmax across seven scale-up configurations.
+
+(a) Virtex-7 7vx330t and (b) UltraScale vu125, exactly as in the paper,
+plus the boundary-fed systolic baseline as the contrast series that
+motivates the whole design (§I's architecture-layout mismatch).
+"""
+
+from __future__ import annotations
+
+from conftest import OUT_DIR, save_artifact
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.svg_plot import svg_lines
+from repro.fpga.placement import place_overlay, place_systolic
+from repro.fpga.timing import TimingModel
+
+#: Seven scale-up points per device (paper Fig. 6 sweeps to 100 % DSP).
+VU125_CONFIGS = [
+    (12, 1, 5), (12, 1, 10), (12, 1, 20), (12, 2, 20),
+    (12, 3, 20), (12, 4, 20), (12, 5, 20),
+]
+VIRTEX_CONFIGS = [
+    (10, 1, 4), (10, 1, 8), (10, 1, 16), (10, 2, 16),
+    (10, 4, 16), (10, 6, 16), (10, 7, 16),
+]
+SYSTOLIC_SIZES = [(8, 8), (12, 12), (16, 16), (20, 20), (24, 24), (28, 28), (33, 33)]
+
+
+def _sweep_overlay(device, configs):
+    model = TimingModel(device)
+    rows = []
+    for cfg in configs:
+        placement = place_overlay(device, *cfg)
+        report = model.report(placement)
+        rows.append((cfg, placement.n_dsp_used, report.fmax_mhz,
+                     report.fmax_fraction))
+    return rows
+
+
+def _sweep_systolic(device, sizes):
+    model = TimingModel(device)
+    rows = []
+    for r, c in sizes:
+        placement = place_systolic(device, r, c)
+        report = model.report(placement, double_pump=False)
+        rows.append(((r, c), r * c, report.fmax_mhz))
+    return rows
+
+
+def _render(device_name, overlay_rows, systolic_rows) -> str:
+    lines = [f"Fig. 6 — {device_name}: post-P&R fmax vs design scale"]
+    lines.append(f"{'config (D1,D2,D3)':>20s} {'DSPs':>6s} {'fmax MHz':>9s} {'%peak':>7s}")
+    for cfg, dsps, fmax, frac in overlay_rows:
+        lines.append(f"{str(cfg):>20s} {dsps:6d} {fmax:9.0f} {frac:7.1%}")
+    lines.append("")
+    lines.append(f"{'systolic baseline':>20s} {'PEs':>6s} {'fmax MHz':>9s}")
+    for shape, pes, fmax in systolic_rows:
+        lines.append(f"{str(shape):>20s} {pes:6d} {fmax:9.0f}")
+    xs = [float(dsps) for _, dsps, _, _ in overlay_rows]
+    series = {
+        "ftdl": [fmax for _, _, fmax, _ in overlay_rows],
+        "systolic": [fmax for _, _, fmax in systolic_rows],
+    }
+    chart = line_plot(xs, series,
+                      title=f"{device_name}: fmax (MHz) vs DSPs used")
+    OUT_DIR.mkdir(exist_ok=True)
+    svg_name = f"fig6_{device_name.split()[0].lower()}.svg"
+    (OUT_DIR / svg_name).write_text(svg_lines(
+        xs, series,
+        title=f"Fig. 6 - {device_name}: post-P&R fmax vs scale",
+        x_label="DSPs used (FTDL) / PEs (systolic)",
+        y_label="fmax (MHz)",
+    ))
+    return "\n".join(lines) + "\n\n" + chart + "\n"
+
+
+def test_fig6a_virtex(benchmark, virtex):
+    """Fig. 6(a): 7vx330t — fmax stabilizes above 620 MHz."""
+    rows = benchmark(_sweep_overlay, virtex, VIRTEX_CONFIGS)
+    systolic = _sweep_systolic(virtex, SYSTOLIC_SIZES)
+    save_artifact("fig6a_virtex.txt", _render("Virtex-7 7vx330t", rows, systolic))
+    assert all(fmax > 620.0 for _, _, fmax, _ in rows)
+    assert all(frac >= 0.88 for _, _, _, frac in rows)
+    assert rows[-1][1] == virtex.n_dsp_total  # 100 % DSP utilization
+
+
+def test_fig6b_ultrascale(benchmark, vu125):
+    """Fig. 6(b): vu125 — fmax stabilizes above 650 MHz."""
+    rows = benchmark(_sweep_overlay, vu125, VU125_CONFIGS)
+    systolic = _sweep_systolic(vu125, SYSTOLIC_SIZES)
+    save_artifact("fig6b_ultrascale.txt", _render("UltraScale vu125", rows, systolic))
+    assert all(fmax > 650.0 for _, _, fmax, _ in rows)
+    assert all(frac >= 0.88 for _, _, _, frac in rows)
+    assert rows[-1][1] == vu125.n_dsp_total
+
+
+def test_fig6_mismatch_contrast(benchmark, vu125):
+    """The motivating contrast: the systolic baseline's fmax collapses
+    with scale while FTDL's stays flat."""
+    systolic = benchmark(_sweep_systolic, vu125, SYSTOLIC_SIZES)
+    fmaxes = [fmax for _, _, fmax in systolic]
+    assert fmaxes[0] > fmaxes[-1]
+    assert fmaxes[-1] < 250.0  # "most prior designs below 250 MHz"
+    overlay = _sweep_overlay(vu125, VU125_CONFIGS)
+    assert overlay[-1][2] > 2.5 * fmaxes[-1]

@@ -1,0 +1,125 @@
+"""Fig. 7: roofline visualization of the top-200 schedules for one CONV
+layer under Objective 1 (performance) and Objective 2 (balance).
+
+The paper's observations to reproduce:
+* Obj. 1 solutions reach near-roof performance but mostly at low WBUF
+  efficiency (E_WBUF ~ 0.2 in the paper's example);
+* Obj. 2 solutions all sit at high E_WBUF (~ 1) with only a slight
+  performance loss, saving ~5x WBUF storage.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import OUT_DIR, save_artifact
+from repro.analysis.ascii_plot import scatter_plot
+from repro.analysis.svg_plot import svg_scatter
+from repro.analysis.roofline import ridge_intensity, roofline_points
+from repro.compiler.search import ScheduleSearch
+from repro.workloads.layers import ConvLayer
+from repro.workloads.mlperf import build_model
+
+TOP_K = 200
+
+
+def _example_layer() -> ConvLayer:
+    """The 3x3 CONV of inception 3a: an early layer whose minimum-latency
+    schedules must split output rows across the grid and therefore
+    duplicate weights — the regime where Fig. 7's Obj1/Obj2 contrast
+    appears."""
+    net = build_model("GoogLeNet")
+    return next(
+        l for l in net.accelerated_layers() if l.name == "3a.b2.3x3"
+    )
+
+
+def _marker(e_wbuf: float) -> str:
+    """Bin WBUF efficiency into marker characters (the colour axis)."""
+    if e_wbuf >= 0.8:
+        return "#"
+    if e_wbuf >= 0.5:
+        return "+"
+    return "."
+
+
+def _chart(points, title: str) -> str:
+    return scatter_plot(
+        [p.intensity_ops_per_byte for p in points],
+        [p.attained_gops for p in points],
+        markers=[_marker(p.e_wbuf) for p in points],
+        title=title + "   (marker: # E>=0.8, + E>=0.5, . E<0.5)",
+        log_x=True,
+    )
+
+
+def _summary(name, points) -> str:
+    mean_e = statistics.mean(p.e_wbuf for p in points)
+    best = max(p.attained_gops for p in points)
+    return (
+        f"{name}: {len(points)} solutions, best {best:.0f} GOPS, "
+        f"mean E_WBUF {mean_e:.2f}"
+    )
+
+
+def test_fig7_roofline(benchmark, paper_config):
+    layer = _example_layer()
+
+    def top200_performance():
+        return ScheduleSearch(
+            layer, paper_config, objective="performance", top_k=TOP_K
+        ).run()
+
+    perf_schedules = benchmark.pedantic(
+        top200_performance, rounds=1, iterations=1
+    )
+    bal_schedules = ScheduleSearch(
+        layer, paper_config, objective="balance", top_k=TOP_K
+    ).run()
+
+    perf_points = roofline_points(perf_schedules)
+    bal_points = roofline_points(bal_schedules)
+
+    text = "\n\n".join(
+        [
+            f"Fig. 7 — roofline for {layer.name} on D1=12, D2=5, D3=20 "
+            f"@ {paper_config.clk_h_mhz:.0f} MHz "
+            f"(peak {paper_config.peak_gops:.0f} GOPS, ridge at "
+            f"{ridge_intensity(paper_config):.0f} ops/byte)",
+            "(a) Objective 1 — performance",
+            _chart(perf_points, "top-200 by performance"),
+            _summary("Obj1", perf_points),
+            "(b) Objective 2 — balance",
+            _chart(bal_points, "top-200 by balance score"),
+            _summary("Obj2", bal_points),
+        ]
+    )
+    save_artifact("fig7_roofline.txt", text)
+    OUT_DIR.mkdir(exist_ok=True)
+    for tag, points in (("a_performance", perf_points), ("b_balance", bal_points)):
+        (OUT_DIR / f"fig7{tag}.svg").write_text(svg_scatter(
+            [p.intensity_ops_per_byte for p in points],
+            [p.attained_gops for p in points],
+            colors=[p.e_wbuf for p in points],
+            title=f"Fig. 7({tag[0]}) - top-200 schedules, {tag[2:]} objective",
+            x_label="operational intensity (ops/byte, log)",
+            y_label="attained GOPS",
+            log_x=True,
+        ))
+
+    # --- paper's observations ----------------------------------------- #
+    best_perf = perf_points[0]
+    best_bal = bal_points[0]
+    # (b) clusters at high WBUF efficiency.
+    mean_bal_e = statistics.mean(p.e_wbuf for p in bal_points)
+    assert mean_bal_e > 0.8
+    # (a) trades WBUF efficiency for speed.
+    mean_perf_e = statistics.mean(p.e_wbuf for p in perf_points)
+    assert mean_bal_e > mean_perf_e
+    assert mean_perf_e < 0.5
+    # Obj2 saves substantial WBUF storage (paper: ~5x on its layer) ...
+    assert best_bal.e_wbuf / best_perf.e_wbuf > 2.0
+    # ... at only a slight performance loss.
+    assert best_bal.attained_gops > 0.7 * best_perf.attained_gops
+    # Obj1's winner sits near the roof.
+    assert best_perf.attained_gops > 0.8 * paper_config.peak_gops

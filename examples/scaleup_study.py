@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scalability study: deploy the overlay across devices and scales.
+
+Reproduces the paper's central hardware claim (Fig. 6) interactively:
+place FTDL overlays of growing size on two FPGA families, estimate the
+post-place-and-route fmax, and contrast it with a boundary-fed systolic
+array on the same fabric — the architecture-layout mismatch in numbers.
+
+Also demonstrates the §III-D deployment checks: which grid shapes a
+device can host, and the resource report per configuration.
+
+Run:  python examples/scaleup_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    OverlayConfig,
+    TimingModel,
+    get_device,
+    list_devices,
+    place_overlay,
+    place_systolic,
+    plan_double_pump,
+    resource_report,
+)
+from repro.analysis.ascii_plot import line_plot
+
+SWEEPS = {
+    "vu125": [(12, 1, 5), (12, 1, 10), (12, 1, 20), (12, 2, 20),
+              (12, 3, 20), (12, 4, 20), (12, 5, 20)],
+    "7vx330t": [(10, 1, 4), (10, 1, 8), (10, 1, 16), (10, 2, 16),
+                (10, 4, 16), (10, 6, 16), (10, 7, 16)],
+}
+
+
+def sweep_device(name: str) -> None:
+    device = get_device(name)
+    model = TimingModel(device)
+    print(f"\n{name}: {device.n_dsp_total} DSPs in "
+          f"{len(device.dsp_columns)} columns of {device.dsps_per_column}")
+    print(f"  {'grid':>14s} {'DSPs':>6s} {'fmax':>6s} {'%peak':>7s} "
+          f"{'CLK_l':>6s}  resources")
+    xs, ftdl_fmax = [], []
+    for grid in SWEEPS[name]:
+        placement = place_overlay(device, *grid)
+        report = model.report(placement)
+        plan = plan_double_pump(device, target_clk_h_mhz=report.fmax_mhz)
+        config = OverlayConfig(*grid, clk_h_mhz=plan.clk_h_mhz)
+        resources = resource_report(config, device)
+        print(f"  {str(grid):>14s} {placement.n_dsp_used:6d} "
+              f"{report.fmax_mhz:6.0f} {report.fmax_fraction:7.1%} "
+              f"{plan.clk_l_mhz:6.0f}  "
+              f"DSP {resources.dsp_utilization:.0%} / "
+              f"BRAM {resources.bram_utilization:.0%} / "
+              f"CLB {resources.clb_utilization:.0%}")
+        xs.append(float(placement.n_dsp_used))
+        ftdl_fmax.append(report.fmax_mhz)
+
+    # The contrast: a systolic array grown over the same fabric.
+    systolic_fmax = []
+    for r, c in [(8, 8), (12, 12), (16, 16), (20, 20), (24, 24), (28, 28),
+                 (33, 33)]:
+        placement = place_systolic(device, r, c)
+        systolic_fmax.append(model.report(placement, double_pump=False).fmax_mhz)
+    print()
+    print(line_plot(
+        xs,
+        {"ftdl": ftdl_fmax, "systolic": systolic_fmax},
+        title=f"{name}: post-P&R fmax (MHz) vs scale "
+              f"(x: DSPs used by FTDL / PE count for systolic)",
+    ))
+
+
+def main() -> None:
+    print("catalogued devices:", ", ".join(list_devices()))
+    for name in SWEEPS:
+        sweep_device(name)
+    print("\nTakeaway: FTDL's fmax is flat and >= 88 % of the DSP limit at "
+          "every scale; the boundary-fed systolic array collapses below "
+          "250 MHz as its feed nets stretch across the die.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""FTDL reproduction: a tailored FPGA overlay for deep learning.
+
+A complete Python reproduction of *FTDL: A Tailored FPGA-Overlay for Deep
+Learning with High Scalability* (DAC 2020): the layout-aware overlay
+architecture (TPE / SuperBlock / grid), the scheduling compiler with its
+analytical model and three objectives, a cycle-level simulator checked
+against bit-true golden models, FPGA floorplan/timing and DRAM substrates,
+and the full benchmark harness for the paper's tables and figures.
+
+Quickstart::
+
+    from repro import (
+        build_model, PAPER_EXAMPLE_CONFIG, evaluate_network,
+    )
+    result = evaluate_network(build_model("GoogLeNet"), PAPER_EXAMPLE_CONFIG)
+    print(result.describe())
+"""
+
+from repro.errors import (
+    FTDLError,
+    DeviceError,
+    ResourceError,
+    ClockingError,
+    MappingError,
+    ScheduleError,
+    WorkloadError,
+    SimulationError,
+    IsaError,
+)
+from repro.fpga import (
+    Device,
+    get_device,
+    list_devices,
+    place_overlay,
+    place_systolic,
+    plan_double_pump,
+    TimingModel,
+    TimingReport,
+)
+from repro.overlay import (
+    OverlayConfig,
+    PAPER_EXAMPLE_CONFIG,
+    Instruction,
+    OpKind,
+    resource_report,
+)
+from repro.workloads import (
+    ConvLayer,
+    MatMulLayer,
+    EwopLayer,
+    PoolLayer,
+    Network,
+    MLPERF_MODELS,
+    build_model,
+    table1_rows,
+)
+from repro.compiler import (
+    MappingVectors,
+    ScheduleSearch,
+    Schedule,
+    ScheduleCache,
+    schedule_layer,
+    search_hardware_config,
+    compile_schedule,
+    evaluate_mapping,
+    check_constraints,
+    adjacency_matrix,
+)
+from repro.sim import CycleSimulator, LayerRun, DramTrace
+from repro.analysis import (
+    evaluate_network,
+    NetworkResult,
+    roofline_points,
+    roof_curve,
+    build_table2,
+)
+from repro.baselines import SystolicArray, PRIOR_WORKS
+from repro.power import estimate_overlay_power, PowerReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FTDLError",
+    "DeviceError",
+    "ResourceError",
+    "ClockingError",
+    "MappingError",
+    "ScheduleError",
+    "WorkloadError",
+    "SimulationError",
+    "IsaError",
+    "Device",
+    "get_device",
+    "list_devices",
+    "place_overlay",
+    "place_systolic",
+    "plan_double_pump",
+    "TimingModel",
+    "TimingReport",
+    "OverlayConfig",
+    "PAPER_EXAMPLE_CONFIG",
+    "Instruction",
+    "OpKind",
+    "resource_report",
+    "ConvLayer",
+    "MatMulLayer",
+    "EwopLayer",
+    "PoolLayer",
+    "Network",
+    "MLPERF_MODELS",
+    "build_model",
+    "table1_rows",
+    "MappingVectors",
+    "ScheduleSearch",
+    "Schedule",
+    "ScheduleCache",
+    "schedule_layer",
+    "search_hardware_config",
+    "compile_schedule",
+    "evaluate_mapping",
+    "check_constraints",
+    "adjacency_matrix",
+    "CycleSimulator",
+    "LayerRun",
+    "DramTrace",
+    "evaluate_network",
+    "NetworkResult",
+    "roofline_points",
+    "roof_curve",
+    "build_table2",
+    "SystolicArray",
+    "PRIOR_WORKS",
+    "estimate_overlay_power",
+    "PowerReport",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analysis and reporting: network evaluation, roofline, comparisons."""
+
+from repro.analysis.efficiency import LayerResult, NetworkResult, evaluate_network
+from repro.analysis.roofline import RooflinePoint, roofline_points, roof_curve
+from repro.analysis.comparison import ComparisonRow, build_table2
+from repro.analysis.ascii_plot import scatter_plot, line_plot
+from repro.analysis.svg_plot import svg_scatter, svg_lines
+from repro.analysis.partition import (
+    DeploymentPlan,
+    partition_by_weight_groups,
+    plan_deployment,
+)
+from repro.analysis.quantization import (
+    QuantizationReport,
+    precision_sweep,
+    quantized_layer_error,
+)
+
+__all__ = [
+    "LayerResult",
+    "NetworkResult",
+    "evaluate_network",
+    "RooflinePoint",
+    "roofline_points",
+    "roof_curve",
+    "ComparisonRow",
+    "build_table2",
+    "scatter_plot",
+    "line_plot",
+    "svg_scatter",
+    "svg_lines",
+    "DeploymentPlan",
+    "partition_by_weight_groups",
+    "plan_deployment",
+    "QuantizationReport",
+    "precision_sweep",
+    "quantized_layer_error",
+]

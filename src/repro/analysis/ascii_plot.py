@@ -1,0 +1,90 @@
+"""Terminal plotting for figures (no plotting libraries offline).
+
+Renders scatter and line charts as fixed-size character grids; the
+benchmark harness prints these next to the raw series so figures remain
+inspectable in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import FTDLError
+
+
+def _scale(values: list[float], cells: int, log: bool) -> list[int]:
+    if log:
+        if min(values) <= 0:
+            raise FTDLError("log scale requires positive values")
+        values = [math.log10(v) for v in values]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    return [int((v - lo) / span * (cells - 1)) for v in values]
+
+
+def scatter_plot(
+    xs: list[float],
+    ys: list[float],
+    width: int = 64,
+    height: int = 18,
+    marker: str = "o",
+    markers: list[str] | None = None,
+    title: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render an (x, y) scatter as text.
+
+    Args:
+        xs / ys: Point coordinates (equal length, non-empty).
+        markers: Optional per-point marker characters (e.g. binned colour).
+        log_x: Log-scale the x axis (roofline convention).
+    """
+    if not xs or len(xs) != len(ys):
+        raise FTDLError("scatter needs equal-length, non-empty series")
+    cols = _scale(list(xs), width, log_x)
+    rows = _scale(list(ys), height, False)
+    grid = [[" "] * width for _ in range(height)]
+    for i, (c, r) in enumerate(zip(cols, rows)):
+        grid[height - 1 - r][c] = markers[i] if markers else marker
+    lines = [title] if title else []
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" x: [{min(xs):.3g}, {max(xs):.3g}]"
+        f"{' (log)' if log_x else ''}   y: [{min(ys):.3g}, {max(ys):.3g}]"
+    )
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: list[float],
+    series: dict[str, list[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more named y-series over shared x values."""
+    if not xs or not series:
+        raise FTDLError("line plot needs x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise FTDLError(f"series {name!r} length != x length")
+    all_y = [y for ys in series.values() for y in ys]
+    cols = _scale(list(xs), width, False)
+    lo, hi = min(all_y), max(all_y)
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&"
+    for s_index, (name, ys) in enumerate(series.items()):
+        mark = marks[s_index % len(marks)]
+        for c, y in zip(cols, ys):
+            r = int((y - lo) / span * (height - 1))
+            grid[height - 1 - r][c] = mark
+    lines = [title] if title else []
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f" y: [{lo:.3g}, {hi:.3g}]   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Table II: overall performance and related-works comparison.
+
+The FTDL row comes out of the full stack (compiler + analytical model +
+power model); the prior-work rows are the paper's own methodology — each
+work's published (frequency, hardware efficiency) rescaled to the same
+DSP count.  Speedup factors are normalized to the first row ([10]), as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.efficiency import NetworkResult
+from repro.baselines.priorworks import PRIOR_WORKS, PriorWork
+from repro.dram.power import estimate_power as estimate_dram_power
+from repro.dram.spec import DDR4_2400
+from repro.errors import FTDLError
+from repro.fpga.devices import Device
+from repro.power.model import estimate_overlay_power
+from repro.units import OPS_PER_MACC
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One column of Table II (a design under comparison)."""
+
+    key: str
+    name: str
+    quantization_bits: int
+    dsp_freq_mhz: float
+    hardware_efficiency: float
+    fps: dict[str, float]
+    gops_per_watt: float | None
+
+    def speedup_over(self, baseline: "ComparisonRow", model: str) -> float:
+        base = baseline.fps.get(model, 0.0)
+        if base <= 0:
+            raise FTDLError(f"baseline has no FPS for model {model!r}")
+        return self.fps[model] / base
+
+
+def _prior_row(work: PriorWork, n_dsp: int, model_ops: dict[str, int]) -> ComparisonRow:
+    return ComparisonRow(
+        key=work.key,
+        name=work.name,
+        quantization_bits=work.quantization_bits,
+        dsp_freq_mhz=work.dsp_freq_mhz,
+        hardware_efficiency=work.hardware_efficiency,
+        fps={m: work.fps(n_dsp, ops) for m, ops in model_ops.items()},
+        gops_per_watt=work.gops_per_watt,
+    )
+
+
+def build_table2(
+    ftdl_results: dict[str, NetworkResult],
+    device: Device,
+) -> list[ComparisonRow]:
+    """Build the Table II rows: every prior work plus FTDL last.
+
+    Args:
+        ftdl_results: Network name -> evaluated FTDL result (all on the
+            same overlay configuration).
+        device: The device FTDL runs on (for the power model).
+
+    Returns:
+        Rows in the paper's order; speedups can be derived against
+        ``rows[0]`` (the [10] baseline).
+    """
+    if not ftdl_results:
+        raise FTDLError("at least one FTDL network result is required")
+    configs = {id(r.config) for r in ftdl_results.values()}
+    first = next(iter(ftdl_results.values()))
+    config = first.config
+    if len({(r.config.d1, r.config.d2, r.config.d3, r.config.clk_h_mhz)
+            for r in ftdl_results.values()}) != 1:
+        raise FTDLError("all FTDL results must share one configuration")
+
+    model_ops = {
+        name: OPS_PER_MACC * result.network.accelerated_maccs
+        for name, result in ftdl_results.items()
+    }
+    n_dsp = config.n_tpe
+
+    rows = [_prior_row(work, n_dsp, model_ops) for work in PRIOR_WORKS]
+
+    # FTDL row: measured efficiency per network, power from the model with
+    # the first network's utilization and DRAM trace.
+    mean_eff = sum(r.hardware_efficiency for r in ftdl_results.values()) / len(
+        ftdl_results
+    )
+    dram_report = estimate_dram_power(
+        first.dram_trace(), DDR4_2400, first.total_cycles, config.clk_h_mhz
+    )
+    power = estimate_overlay_power(config, device, mean_eff, dram_report)
+    attained = OPS_PER_MACC * config.n_tpe * config.clk_h_mhz * 1e-3 * mean_eff
+    rows.append(
+        ComparisonRow(
+            key="FTDL",
+            name="FTDL (this work)",
+            quantization_bits=16,
+            dsp_freq_mhz=config.clk_h_mhz,
+            hardware_efficiency=mean_eff,
+            fps={name: r.fps for name, r in ftdl_results.items()},
+            gops_per_watt=power.gops_per_watt(attained),
+        )
+    )
+    return rows
+
+
+def format_table2(rows: list[ComparisonRow], models: list[str]) -> str:
+    """Render Table II as aligned text, speedups normalized to row 0."""
+    baseline = rows[0]
+    lines = [
+        f"{'Work':18s} {'MHz':>5s} {'HW-eff':>7s} "
+        + " ".join(f"{m + ' FPS':>18s}" for m in models)
+        + f" {'GOPS/W':>8s}"
+    ]
+    for row in rows:
+        fps_cells = []
+        for model in models:
+            fps = row.fps[model]
+            speedup = row.speedup_over(baseline, model)
+            fps_cells.append(f"{fps:9.1f} ({speedup:4.1f}x)")
+        gpw = f"{row.gops_per_watt:8.1f}" if row.gops_per_watt else "     N/A"
+        lines.append(
+            f"{row.key + ' ' + row.name:18s} {row.dsp_freq_mhz:5.0f} "
+            f"{row.hardware_efficiency:7.1%} "
+            + " ".join(f"{c:>18s}" for c in fps_cells)
+            + f" {gpw}"
+        )
+    return "\n".join(lines)

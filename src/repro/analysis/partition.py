@@ -1,0 +1,143 @@
+"""Multi-FPGA model partitioning (paper §II-B1).
+
+When a model's weights exceed one device's aggregate WBUF, a multi-FPGA
+system splits the layers across devices so the weight-stationary scheme
+survives.  :func:`partition_by_weight_groups` balances *unique* weight
+bytes (layers tied through a ``weight_group`` — e.g. unrolled LSTM
+timesteps — stay together), and :func:`plan_deployment` evaluates the
+resulting pipeline, switching each partition to resident weights when its
+stored footprint fits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.analysis.efficiency import NetworkResult, evaluate_network
+from repro.errors import FTDLError
+from repro.overlay.config import OverlayConfig
+from repro.units import BYTES_PER_WORD
+from repro.workloads.layers import LayerKind
+from repro.workloads.network import Network
+
+
+def partition_by_weight_groups(network: Network, n_devices: int) -> list[Network]:
+    """Split layers into up to ``n_devices`` groups of roughly equal
+    unique weight bytes.
+
+    Weight groups are atomic; EWOP layers follow their most recent
+    accelerated producer.  Returns only non-empty partitions.
+
+    Raises:
+        FTDLError: if ``n_devices`` is not positive.
+    """
+    if n_devices < 1:
+        raise FTDLError(f"need >= 1 device, got {n_devices}")
+    group_sizes: dict[str, int] = {}
+    for layer in network.layers:
+        if layer.kind == LayerKind.EWOP:
+            continue
+        key = getattr(layer, "weight_group", None) or layer.name
+        group_sizes.setdefault(key, layer.weight_words)
+
+    total = sum(group_sizes.values())
+    target = total / n_devices if n_devices else total
+    assignment: dict[str, int] = {}
+    device, acc = 0, 0
+    for key, words in group_sizes.items():
+        assignment[key] = device
+        acc += words
+        if acc >= target and device < n_devices - 1:
+            device, acc = device + 1, 0
+
+    buckets: list[list] = [[] for _ in range(n_devices)]
+    current = 0
+    for layer in network.layers:
+        if layer.kind != LayerKind.EWOP:
+            key = getattr(layer, "weight_group", None) or layer.name
+            current = assignment[key]
+        buckets[current].append(layer)
+
+    return [
+        Network(
+            name=f"{network.name}.part{i}",
+            application=network.application,
+            layers=tuple(layers),
+        )
+        for i, layers in enumerate(buckets)
+        if layers
+    ]
+
+
+@dataclass(frozen=True)
+class DeviceStage:
+    """One pipeline stage of a multi-FPGA deployment."""
+
+    partition: Network
+    result: NetworkResult
+    resident: bool
+    stored_bytes: int
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A pipelined multi-FPGA deployment of one network."""
+
+    network: Network
+    config: OverlayConfig
+    stages: tuple[DeviceStage, ...] = field(default_factory=tuple)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.stages)
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        """Slowest stage — the pipeline's inverse throughput."""
+        return max((s.result.total_cycles for s in self.stages), default=0)
+
+    @property
+    def pipeline_fps(self) -> float:
+        if not self.bottleneck_cycles:
+            return 0.0
+        return self.config.clk_h_mhz * 1e6 / self.bottleneck_cycles
+
+    @property
+    def all_resident(self) -> bool:
+        return all(stage.resident for stage in self.stages)
+
+
+def plan_deployment(
+    network: Network,
+    config: OverlayConfig,
+    n_devices: int,
+    objective: str = "balance",
+) -> DeploymentPlan:
+    """Partition ``network`` across ``n_devices`` identical overlays.
+
+    Each partition compiles with ``objective`` (balance by default, since
+    WBUF efficiency decides residency); partitions whose *stored* weight
+    footprint fits the device's aggregate WBUF re-compile with resident
+    weights, dropping their streaming bandwidth cost.
+    """
+    wbuf_budget = config.n_tpe * config.s_wbuf_words * BYTES_PER_WORD
+    stages = []
+    for part in partition_by_weight_groups(network, n_devices):
+        if not part.accelerated_layers():
+            continue
+        result = evaluate_network(part, config, objective=objective)
+        stored_bytes = int(
+            part.weight_bytes / max(result.mean_e_wbuf, 1e-9)
+        )
+        resident = stored_bytes <= wbuf_budget
+        if resident:
+            resident_config = dataclasses.replace(config, weights_resident=True)
+            result = evaluate_network(part, resident_config, objective=objective)
+        stages.append(DeviceStage(
+            partition=part,
+            result=result,
+            resident=resident,
+            stored_bytes=stored_bytes,
+        ))
+    return DeploymentPlan(network=network, config=config, stages=tuple(stages))

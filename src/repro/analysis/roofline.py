@@ -1,0 +1,79 @@
+"""Roofline visualization data (paper §V-C1, Fig. 7).
+
+Each scheduled solution becomes a point: operational intensity (ops per
+DRAM byte) against attained GOPS, coloured by WBUF efficiency.  The roof
+is ``min(peak_gops, intensity * dram_bandwidth)``.  The paper renders this
+interactively; here the series feed the ASCII plotter and the benchmark
+CSV output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.search import Schedule
+from repro.errors import FTDLError
+from repro.overlay.config import OverlayConfig
+from repro.units import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One schedule plotted in roofline coordinates."""
+
+    intensity_ops_per_byte: float
+    attained_gops: float
+    e_wbuf: float
+    cycles: int
+    mapping_desc: str
+
+
+def _dram_bytes(schedule: Schedule) -> int:
+    """DRAM bytes moved by one execution of the schedule."""
+    config = schedule.config
+    est = schedule.estimate
+    rd = est.c_dram_rd * config.dram_rd_words_per_cycle()
+    wr = est.c_dram_wr * config.dram_wr_words_per_cycle()
+    return int((rd + wr) * BYTES_PER_WORD)
+
+
+def roofline_points(schedules: list[Schedule]) -> list[RooflinePoint]:
+    """Convert top-k schedules into roofline points."""
+    points = []
+    for schedule in schedules:
+        est = schedule.estimate
+        total_bytes = max(1, _dram_bytes(schedule))
+        ops = 2 * est.useful_maccs
+        points.append(
+            RooflinePoint(
+                intensity_ops_per_byte=ops / total_bytes,
+                attained_gops=est.gops_at(schedule.config.clk_h_mhz),
+                e_wbuf=est.e_wbuf,
+                cycles=est.c_exe,
+                mapping_desc=schedule.mapping.describe(),
+            )
+        )
+    return points
+
+
+def roof_curve(
+    config: OverlayConfig,
+    intensities: list[float],
+) -> list[tuple[float, float]]:
+    """The roofline itself: attainable GOPS at each operational intensity.
+
+    The compute roof is the overlay's peak GOPS at CLK_h; the memory roof
+    is intensity times the DRAM read bandwidth.
+    """
+    if not intensities:
+        raise FTDLError("at least one intensity point is required")
+    bandwidth_gbps = config.dram_rd_gbps
+    return [
+        (x, min(config.peak_gops, x * bandwidth_gbps))
+        for x in sorted(intensities)
+    ]
+
+
+def ridge_intensity(config: OverlayConfig) -> float:
+    """Operational intensity where the memory roof meets the compute roof."""
+    return config.peak_gops / config.dram_rd_gbps

@@ -1,0 +1,204 @@
+"""Self-contained SVG chart rendering (no plotting libraries).
+
+Produces genuine vector figures for Fig. 6 / Fig. 7-style data: scatter
+charts with a color axis and multi-series line charts, with axes, ticks,
+and legends.  Deliberately small: enough for the benchmark artifacts to
+include real figures, not a plotting framework.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+from repro.errors import FTDLError
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 40, 55
+
+#: Okabe-Ito palette: colour-blind safe series colours.
+_COLORS = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+           "#E69F00", "#56B4E9", "#F0E442", "#000000")
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions spanning [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / max(n - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * magnitude:
+            raw = step * magnitude
+            break
+    first = math.ceil(lo / raw) * raw
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * raw:
+        ticks.append(round(value, 10))
+        value += raw
+    return ticks or [lo]
+
+
+@dataclass
+class _Scale:
+    lo: float
+    hi: float
+    pixel_lo: float
+    pixel_hi: float
+    log: bool = False
+
+    def __call__(self, value: float) -> float:
+        lo, hi, v = self.lo, self.hi, value
+        if self.log:
+            lo, hi, v = math.log10(lo), math.log10(hi), math.log10(v)
+        span = hi - lo or 1.0
+        frac = (v - lo) / span
+        return self.pixel_lo + frac * (self.pixel_hi - self.pixel_lo)
+
+
+def _axes(xs: _Scale, ys: _Scale, x_label: str, y_label: str,
+          title: str) -> list[str]:
+    title, x_label, y_label = escape(title), escape(x_label), escape(y_label)
+    parts = [
+        f'<rect x="0" y="0" width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-family="sans-serif">{title}</text>',
+        f'<line x1="{_MARGIN_L}" y1="{_HEIGHT - _MARGIN_B}" '
+        f'x2="{_WIDTH - _MARGIN_R}" y2="{_HEIGHT - _MARGIN_B}" '
+        f'stroke="black"/>',
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{_HEIGHT - _MARGIN_B}" stroke="black"/>',
+        f'<text x="{(_MARGIN_L + _WIDTH - _MARGIN_R) / 2}" '
+        f'y="{_HEIGHT - 12}" text-anchor="middle" font-size="12" '
+        f'font-family="sans-serif">{x_label}</text>',
+        f'<text x="16" y="{(_MARGIN_T + _HEIGHT - _MARGIN_B) / 2}" '
+        f'text-anchor="middle" font-size="12" font-family="sans-serif" '
+        f'transform="rotate(-90 16 {(_MARGIN_T + _HEIGHT - _MARGIN_B) / 2})"'
+        f'>{y_label}</text>',
+    ]
+    if xs.log:
+        decades = range(
+            math.floor(math.log10(xs.lo)), math.ceil(math.log10(xs.hi)) + 1
+        )
+        x_ticks = [10.0**d for d in decades if xs.lo <= 10.0**d <= xs.hi]
+        x_ticks = x_ticks or [xs.lo, xs.hi]
+    else:
+        x_ticks = _ticks(xs.lo, xs.hi)
+    for tick in x_ticks:
+        px = xs(tick)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_HEIGHT - _MARGIN_B}" '
+            f'x2="{px:.1f}" y2="{_HEIGHT - _MARGIN_B + 5}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{_HEIGHT - _MARGIN_B + 18}" '
+            f'text-anchor="middle" font-size="11" '
+            f'font-family="sans-serif">{tick:g}</text>'
+        )
+    for tick in _ticks(ys.lo, ys.hi):
+        py = ys(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L - 5}" y1="{py:.1f}" x2="{_MARGIN_L}" '
+            f'y2="{py:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{py + 4:.1f}" text-anchor="end" '
+            f'font-size="11" font-family="sans-serif">{tick:g}</text>'
+        )
+    return parts
+
+
+def _document(parts: list[str]) -> str:
+    body = "\n  ".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">\n  '
+        f"{body}\n</svg>\n"
+    )
+
+
+def _scales(xs, ys, log_x):
+    if not xs or len(xs) != len(ys):
+        raise FTDLError("chart needs equal-length, non-empty series")
+    if log_x and min(xs) <= 0:
+        raise FTDLError("log scale requires positive x values")
+    pad = 0.05 * ((max(ys) - min(ys)) or abs(max(ys)) or 1.0)
+    x_scale = _Scale(min(xs), max(xs), _MARGIN_L + 10, _WIDTH - _MARGIN_R - 10,
+                     log=log_x)
+    y_scale = _Scale(min(ys) - pad, max(ys) + pad,
+                     _HEIGHT - _MARGIN_B - 5, _MARGIN_T + 5)
+    return x_scale, y_scale
+
+
+def svg_scatter(
+    xs: list[float],
+    ys: list[float],
+    colors: list[float] | None = None,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render a scatter chart; ``colors`` in [0, 1] maps to a blue-to-red
+    ramp (the Fig. 7 WBUF-efficiency axis)."""
+    x_scale, y_scale = _scales(xs, ys, log_x)
+    parts = _axes(x_scale, y_scale, x_label, y_label, title)
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        if colors is not None:
+            c = min(1.0, max(0.0, colors[i]))
+            fill = f"rgb({int(40 + 180 * (1 - c))},60,{int(40 + 180 * c)})"
+        else:
+            fill = _COLORS[0]
+        parts.append(
+            f'<circle cx="{x_scale(x):.1f}" cy="{y_scale(y):.1f}" r="4" '
+            f'fill="{fill}" fill-opacity="0.75"/>'
+        )
+    if colors is not None:
+        parts.append(
+            f'<text x="{_WIDTH - _MARGIN_R}" y="{_MARGIN_T - 6}" '
+            f'text-anchor="end" font-size="11" font-family="sans-serif">'
+            f"color: red = low E_WBUF, blue = high</text>"
+        )
+    return _document(parts)
+
+
+def svg_lines(
+    xs: list[float],
+    series: dict[str, list[float]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more named line series over shared x values."""
+    if not series:
+        raise FTDLError("line chart needs at least one series")
+    all_y = [y for ys in series.values() for y in ys]
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise FTDLError(f"series {name!r} length != x length")
+    x_scale, y_scale = _scales(list(xs) * len(series), all_y, log_x=False)
+    x_scale = _Scale(min(xs), max(xs), _MARGIN_L + 10,
+                     _WIDTH - _MARGIN_R - 10)
+    parts = _axes(x_scale, y_scale, x_label, y_label, title)
+    for index, (name, ys) in enumerate(series.items()):
+        color = _COLORS[index % len(_COLORS)]
+        points = " ".join(
+            f"{x_scale(x):.1f},{y_scale(y):.1f}" for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{x_scale(x):.1f}" cy="{y_scale(y):.1f}" '
+                f'r="3.5" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{_MARGIN_L + 10 + 130 * index}" y="{_MARGIN_T - 6}" '
+            f'font-size="12" font-family="sans-serif" fill="{color}">'
+            f"— {escape(name)}</text>"
+        )
+    return _document(parts)

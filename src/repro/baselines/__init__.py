@@ -1,0 +1,13 @@
+"""Comparison baselines: the Table II prior-work registry and an
+implemented boundary-fed systolic array comparator."""
+
+from repro.baselines.priorworks import PriorWork, PRIOR_WORKS, prior_work
+from repro.baselines.systolic import SystolicArray, SystolicRun
+
+__all__ = [
+    "PriorWork",
+    "PRIOR_WORKS",
+    "prior_work",
+    "SystolicArray",
+    "SystolicRun",
+]

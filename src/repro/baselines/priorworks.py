@@ -1,0 +1,76 @@
+"""Published statistics of the prior works compared in Table II.
+
+The paper compares against ten FPGA CNN accelerators "with their own
+statistics but the same DSP number" as the example FTDL design: each
+work's published operating frequency and hardware efficiency are rescaled
+to 1200 DSPs, so FPS = 2 * n_dsp * f * eff / model_ops.  This registry
+holds those published statistics; :mod:`repro.analysis.comparison`
+performs the rescaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FTDLError
+
+
+@dataclass(frozen=True)
+class PriorWork:
+    """Published operating point of one prior accelerator.
+
+    Attributes:
+        key: Citation number in the paper's reference list.
+        name: Short identifier (first author + venue).
+        dsp_freq_mhz: Published DSP operating frequency.
+        hardware_efficiency: Published attainable/theoretical throughput
+            ratio.
+        quantization_bits: Weight precision (all compared works use 16).
+        gops_per_watt: Published power efficiency, or ``None`` where the
+            paper lists N/A.
+    """
+
+    key: str
+    name: str
+    dsp_freq_mhz: float
+    hardware_efficiency: float
+    quantization_bits: int = 16
+    gops_per_watt: float | None = None
+
+    def macc_rate(self, n_dsp: int) -> float:
+        """Effective MACC/s when rescaled to ``n_dsp`` DSPs."""
+        return n_dsp * self.dsp_freq_mhz * 1e6 * self.hardware_efficiency
+
+    def fps(self, n_dsp: int, model_ops: int) -> float:
+        """Frames per second on a model of ``model_ops`` operations."""
+        if model_ops <= 0:
+            raise FTDLError(f"model_ops must be positive, got {model_ops}")
+        return 2.0 * self.macc_rate(n_dsp) / model_ops
+
+
+#: Table II columns, in the paper's order ([10] is the 1.0x baseline).
+PRIOR_WORKS: tuple[PriorWork, ...] = (
+    PriorWork("[10]", "Ma-ISCAS17", 150.0, 0.454),
+    PriorWork("[2]", "Liu-TRETS17", 100.0, 0.730, gops_per_watt=16.8),
+    PriorWork("[3]", "Venieris-FPL17", 125.0, 0.720),
+    PriorWork("[4]", "Lu-FCCM17", 167.0, 0.675, gops_per_watt=21.4),
+    PriorWork("[5]", "Ma-FPL17", 200.0, 0.483),
+    PriorWork("[7]", "Ma-TVLSI18", 200.0, 0.482),
+    PriorWork("[8]", "Guan-FCCM17", 150.0, 0.719, gops_per_watt=14.5),
+    PriorWork("[21]", "Ma-FPGA17", 150.0, 0.708, gops_per_watt=30.4),
+    PriorWork("[1]", "Shen-ISCA17", 170.0, 0.765),
+    PriorWork("[9]", "Wei-DAC17", 240.0, 0.891),
+)
+
+
+def prior_work(key: str) -> PriorWork:
+    """Look up a prior work by its citation key (e.g. ``"[9]"``).
+
+    Raises:
+        FTDLError: for unknown keys.
+    """
+    for work in PRIOR_WORKS:
+        if work.key == key:
+            return work
+    known = ", ".join(w.key for w in PRIOR_WORKS)
+    raise FTDLError(f"unknown prior work {key!r}; known: {known}")

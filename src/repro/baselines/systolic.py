@@ -1,0 +1,128 @@
+"""An implemented boundary-fed systolic-array comparator.
+
+This is the "widely adopted systolic-array-liked architecture" of the
+paper's introduction, built out so the architecture-layout mismatch can be
+*measured* rather than asserted: its placement (boundary memories feeding
+interior PEs) comes from :func:`repro.fpga.placement.place_systolic`, its
+post-P&R frequency from the same timing model that prices FTDL, and its
+throughput from a weight-stationary GEMM schedule with the classic array
+fill/drain overheads.
+
+CONV layers are lowered to GEMM by im2col: ``K = N*R*S`` reduction rows,
+``Mo`` output-channel columns, ``Npix = OH*OW`` activation columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.fpga.devices import Device
+from repro.fpga.placement import place_systolic
+from repro.fpga.timing import TimingModel
+from repro.units import ceil_div
+from repro.workloads.layers import ConvLayer, MatMulLayer
+from repro.workloads.network import Network
+
+AcceleratedLayer = ConvLayer | MatMulLayer
+
+
+@dataclass(frozen=True)
+class SystolicRun:
+    """Result of running one layer or network on the array."""
+
+    cycles: int
+    useful_maccs: int
+    n_pe: int
+    fmax_mhz: float
+
+    @property
+    def hardware_efficiency(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.useful_maccs / (self.n_pe * self.cycles)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.fmax_mhz * 1e6)
+
+    @property
+    def gops(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return 2.0 * self.useful_maccs / self.seconds / 1e9
+
+
+class SystolicArray:
+    """A ``rows x cols`` weight-stationary systolic array on ``device``.
+
+    Args:
+        device: FPGA the array is placed on; its timing model sets the
+            operating frequency (which *degrades* with array size — the
+            mismatch FTDL avoids).
+        rows: Reduction dimension of the array (K).
+        cols: Output dimension of the array (M).
+    """
+
+    def __init__(self, device: Device, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ScheduleError(f"array must be >= 1x1, got {rows}x{cols}")
+        self.device = device
+        self.rows = rows
+        self.cols = cols
+        placement = place_systolic(device, rows, cols)
+        self.timing = TimingModel(device).report(placement, double_pump=False)
+
+    @property
+    def n_pe(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.timing.fmax_mhz
+
+    # ------------------------------------------------------------------ #
+    def _gemm_shape(self, layer: AcceleratedLayer) -> tuple[int, int, int]:
+        """(K, M, N) GEMM dimensions of ``layer`` after lowering."""
+        if isinstance(layer, ConvLayer):
+            k = layer.in_channels * layer.kernel_h * layer.kernel_w
+            return k, layer.out_channels, layer.out_h * layer.out_w
+        return layer.in_features, layer.out_features, layer.batch
+
+    def layer_cycles(self, layer: AcceleratedLayer) -> int:
+        """Cycles for one layer under weight-stationary tiling.
+
+        Per (K, M) weight tile: ``rows`` fill cycles to preload weights,
+        then one activation column per cycle plus ``rows + cols`` drain.
+        """
+        k, m, n = self._gemm_shape(layer)
+        k_tiles = ceil_div(k, self.rows)
+        m_tiles = ceil_div(m, self.cols)
+        per_tile = self.rows + n + (self.rows + self.cols)
+        return k_tiles * m_tiles * per_tile
+
+    def run_layer(self, layer: AcceleratedLayer) -> SystolicRun:
+        return SystolicRun(
+            cycles=self.layer_cycles(layer),
+            useful_maccs=layer.maccs,
+            n_pe=self.n_pe,
+            fmax_mhz=self.fmax_mhz,
+        )
+
+    def run_network(self, network: Network) -> SystolicRun:
+        """Run every accelerated layer back to back."""
+        layers = network.accelerated_layers()
+        if not layers:
+            raise ScheduleError(f"network {network.name!r} has no CONV/MM layers")
+        cycles = sum(self.layer_cycles(layer) for layer in layers)
+        return SystolicRun(
+            cycles=cycles,
+            useful_maccs=network.accelerated_maccs,
+            n_pe=self.n_pe,
+            fmax_mhz=self.fmax_mhz,
+        )
+
+    def fps(self, network: Network) -> float:
+        """Frames per second on ``network`` at the array's post-P&R fmax."""
+        run = self.run_network(network)
+        return 1.0 / run.seconds

@@ -1,0 +1,83 @@
+"""Adjacency matrices for workload mapping (paper §IV-C1, Fig. 5).
+
+``A[level][loop]`` says whether workload loop ``loop`` may take a trip
+count > 1 at hardware level ``level``.  The structural rules, from the
+hardware semantics of §III:
+
+* ``D1`` — the TPE chain of a SuperBlock accumulates compulsorily over the
+  DSP cascade, so only *reduction* loops may live there.
+* ``D2`` — SuperBlock columns in a row receive identical ActBUS data but
+  hold different weights, so only loops that index weights *without*
+  touching the activations qualify (CONV ``M``; MM ``N``).
+* ``D3`` — rows are independent, any loop qualifies; mapping a reduction
+  loop leaves partial sums in different rows that a host EWOP must add
+  (the ``*`` footnote of Fig. 5).
+* ``X`` — outermost temporal loop, unrestricted.
+* ``L`` — ActBUF reloads while PSumBUF persists, so L must advance the
+  activations without abandoning the held partial sums: reduction loops
+  (CONV ``N``/``R``/``S``, MM ``M``) and, for MM, the batch loop ``P``
+  (fresh activations, disjoint PSumBUF addresses) — exactly Fig. 5's rows.
+* ``T`` — innermost temporal loop, unrestricted.
+
+The paper's Fig. 5 prints the K=3 MM matrix and the (M, N, W) slice of the
+CONV matrix; the full K=6 CONV matrix here extends the same rules to
+``H``/``R``/``S`` and agrees with every printed entry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+#: A[level][loop] for the 6-loop CONV nest (M, N, H, W, R, S).
+_CONV_ADJACENCY: dict[str, dict[str, int]] = {
+    "D1": {"M": 0, "N": 1, "H": 0, "W": 0, "R": 1, "S": 1},
+    "D2": {"M": 1, "N": 0, "H": 0, "W": 0, "R": 0, "S": 0},
+    "D3": {"M": 1, "N": 1, "H": 1, "W": 1, "R": 1, "S": 1},
+    "X":  {"M": 1, "N": 1, "H": 1, "W": 1, "R": 1, "S": 1},
+    "L":  {"M": 0, "N": 1, "H": 0, "W": 0, "R": 1, "S": 1},
+    "T":  {"M": 1, "N": 1, "H": 1, "W": 1, "R": 1, "S": 1},
+}
+
+#: A[level][loop] for the 3-loop MM nest (paper notation: M = input
+#: features / reduction, N = output features, P = batch).
+_MM_ADJACENCY: dict[str, dict[str, int]] = {
+    "D1": {"M": 1, "N": 0, "P": 0},
+    "D2": {"M": 0, "N": 1, "P": 0},
+    "D3": {"M": 1, "N": 1, "P": 1},
+    "X":  {"M": 1, "N": 1, "P": 1},
+    "L":  {"M": 1, "N": 0, "P": 1},
+    "T":  {"M": 1, "N": 1, "P": 1},
+}
+
+
+def adjacency_matrix(layer: ConvLayer | MatMulLayer) -> dict[str, dict[str, int]]:
+    """Return the adjacency matrix for ``layer``'s workload type.
+
+    Grouped convolutions lose the ``M -> D2`` edge: with groups the output
+    channel also selects the input-channel group, so SIMD columns holding
+    different ``M`` slices would need *different* ActBUS data — exactly
+    what ``D2`` forbids.  (This is why depthwise layers map poorly to
+    weight-reuse overlays; the MobileNet extension bench measures it.)
+    """
+    if isinstance(layer, ConvLayer):
+        matrix = {level: dict(loops) for level, loops in _CONV_ADJACENCY.items()}
+        if layer.groups > 1:
+            matrix["D2"]["M"] = 0
+        return matrix
+    if isinstance(layer, MatMulLayer):
+        return {level: dict(loops) for level, loops in _MM_ADJACENCY.items()}
+    raise MappingError(f"no adjacency matrix for layer kind {layer.kind}")
+
+
+def needs_ewop_reduction(layer: ConvLayer | MatMulLayer, trips_d3: dict[str, int]) -> bool:
+    """True if the ``D3`` mapping splits a reduction loop across rows.
+
+    In that case each row produces a partial result for the same output
+    element and the host CPU must add them (Fig. 5's ``*`` entries).
+    """
+    reduction_names = {d.name for d in layer.loop_dims() if d.reduction}
+    return any(
+        trip > 1 and name in reduction_names
+        for name, trip in trips_d3.items()
+    )

@@ -1,0 +1,59 @@
+"""Schedule memoization keyed by layer shape.
+
+Real networks repeat layer shapes heavily (ResNet50's six identical
+``layer3`` bottlenecks, the seqLSTM's 50 tied-gate MMs); the cache makes
+whole-network compilation pay for each distinct shape once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.compiler.search import Schedule, ScheduleSearch
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+AcceleratedLayer = ConvLayer | MatMulLayer
+
+
+def layer_signature(layer: AcceleratedLayer) -> tuple:
+    """Shape signature: everything that affects scheduling but not names."""
+    if isinstance(layer, ConvLayer):
+        return (
+            "conv", layer.in_channels, layer.out_channels, layer.in_h,
+            layer.in_w, layer.kernel_h, layer.kernel_w, layer.stride,
+            layer.padding, layer.groups,
+        )
+    return ("mm", layer.in_features, layer.out_features, layer.batch)
+
+
+class ScheduleCache:
+    """Memoized per-layer scheduling against one overlay config.
+
+    Args:
+        config: The overlay all layers are scheduled for.
+        objective: Search objective forwarded to :class:`ScheduleSearch`.
+    """
+
+    def __init__(self, config: OverlayConfig, objective: str = "performance"):
+        self.config = config
+        self.objective = objective
+        self._cache: dict[tuple, Schedule] = {}
+        self.misses = 0
+        self.hits = 0
+
+    def schedule(self, layer: AcceleratedLayer) -> Schedule:
+        """Return the best schedule for ``layer``, reusing shape twins."""
+        key = layer_signature(layer)
+        if key in self._cache:
+            self.hits += 1
+            cached = self._cache[key]
+            if cached.layer is layer:
+                return cached
+            return replace(cached, layer=layer)
+        self.misses += 1
+        schedule = ScheduleSearch(
+            layer, self.config, objective=self.objective, top_k=1
+        ).run()[0]
+        self._cache[key] = schedule
+        return schedule

@@ -1,0 +1,99 @@
+"""Objective 3: best hardware configuration at fixed cost (paper §IV-D3).
+
+Given a TPE budget ``D1 * D2 * D3``, enumerate the divisor triples, replay
+the mapping search on each, and return the configuration whose best
+schedule wins.  Device geometry constraints (§III-D) can prune triples
+that no real part could host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.search import Schedule, ScheduleSearch
+from repro.errors import ScheduleError
+from repro.fpga.devices import Device
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+AcceleratedLayer = ConvLayer | MatMulLayer
+
+
+@dataclass(frozen=True)
+class HardwareSearchResult:
+    """Outcome of one Objective-3 sweep."""
+
+    best: Schedule
+    #: Every evaluated (d1, d2, d3) with its best schedule, best first.
+    ranking: tuple[tuple[tuple[int, int, int], Schedule], ...]
+
+
+def feasible_grids(
+    n_tpe: int,
+    device: Device | None = None,
+    max_d1: int = 64,
+) -> list[tuple[int, int, int]]:
+    """All (d1, d2, d3) triples with ``d1 * d2 * d3 == n_tpe``.
+
+    With a ``device``, apply the §III-D layout constraints: ``d2`` within
+    the DSP column count and ``d1 * d3`` within one column's DSP count.
+    """
+    if n_tpe < 1:
+        raise ScheduleError(f"TPE budget must be >= 1, got {n_tpe}")
+    triples = []
+    for d1 in range(1, min(max_d1, n_tpe) + 1):
+        if n_tpe % d1:
+            continue
+        rest = n_tpe // d1
+        for d2 in range(1, rest + 1):
+            if rest % d2:
+                continue
+            d3 = rest // d2
+            if device is not None:
+                if d2 > len(device.dsp_columns):
+                    continue
+                if d1 * d3 > device.dsps_per_column:
+                    continue
+            triples.append((d1, d2, d3))
+    return triples
+
+
+def search_hardware_config(
+    layer: AcceleratedLayer,
+    base_config: OverlayConfig,
+    device: Device | None = None,
+    objective: str = "performance",
+    spatial_beam: int | None = 80,
+    temporal_beam: int | None = 120,
+) -> HardwareSearchResult:
+    """Find the best (d1, d2, d3) for ``layer`` at the TPE cost of
+    ``base_config`` (Objective 3).
+
+    Raises:
+        ScheduleError: if no grid shape admits a feasible schedule.
+    """
+    n_tpe = base_config.n_tpe
+    ranked: list[tuple[tuple[int, int, int], Schedule]] = []
+    for d1, d2, d3 in feasible_grids(n_tpe, device):
+        config = base_config.with_grid(d1, d2, d3)
+        try:
+            schedule = ScheduleSearch(
+                layer,
+                config,
+                objective=objective,
+                top_k=1,
+                spatial_beam=spatial_beam,
+                temporal_beam=temporal_beam,
+            ).run()[0]
+        except ScheduleError:
+            continue
+        ranked.append(((d1, d2, d3), schedule))
+    if not ranked:
+        raise ScheduleError(
+            f"no grid of {n_tpe} TPEs can schedule layer {layer.name!r}"
+        )
+    if objective == "performance":
+        ranked.sort(key=lambda item: item[1].estimate.c_exe)
+    else:
+        ranked.sort(key=lambda item: -item[1].estimate.score)
+    return HardwareSearchResult(best=ranked[0][1], ranking=tuple(ranked))

@@ -1,0 +1,201 @@
+"""Analytical performance model (paper §IV-B, Eqns 7-9, 12-13).
+
+Prices one candidate mapping in CLK_h cycles along every potential
+bottleneck — computation, ActBUS, PSumBUS, DRAM read, DRAM write — plus
+the WBUF efficiency.  The execution time is the max of the five (Eqn 12)
+because double-buffering overlaps communication with computation; the
+ablation ``double_buffer=False`` serializes them instead.
+
+Note on Eqn 13: the paper prints ``Score = C_exe / C_exe_min + E_WBUF``
+under a *max* objective, which would reward slow schedules; we use the
+evidently intended normalization ``C_exe_min / C_exe + E_WBUF`` so both
+terms live in (0, 1] and larger is better (this matches the Fig. 7(b)
+behaviour: near-peak performance at E_WBUF ≈ 1).
+
+Two refinements the paper leaves implicit:
+
+* **Weight streaming.**  A full network's weights exceed the aggregate
+  WBUF of one device (GoogLeNet: 13.7 MB vs 2.4 MB on the vu125), so each
+  layer's weights stream from DRAM, overlapped with computation like every
+  other transfer.  The streamed volume is the *stored* volume — duplicated
+  weights (low ``E_WBUF``) cost real bandwidth, which is exactly why
+  Objective 2 matters at network scale.
+* **Double-pump weight reuse.**  CLK_h runs at twice the BRAM clock, so a
+  schedule must reuse each weight on two consecutive MACCs.  If the LoopT
+  tile iterates weight-indexing loops only (e.g. a batch-1 MM), the DSP
+  stalls every other cycle and the compute term doubles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from repro.compiler.adjacency import needs_ewop_reduction
+from repro.compiler.mapping import MappingVectors, SPATIAL_LEVELS, TEMPORAL_LEVELS
+from repro.overlay.config import OverlayConfig
+from repro.units import ceil_div
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+AcceleratedLayer = ConvLayer | MatMulLayer
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """All analytical quantities for one (layer, config, mapping) triple.
+
+    Cycle counts are in CLK_h cycles.
+    """
+
+    c_comp: int
+    c_actbus: int
+    c_psumbus: int
+    c_dram_rd: int
+    c_dram_wr: int
+    e_wbuf: float
+    #: True when the LoopT tile cannot reuse each weight on two consecutive
+    #: cycles, halving the double-pumped MACC rate (already in ``c_comp``).
+    weight_stalled: bool
+    #: Per-TPE words the schedule needs in each buffer.
+    actbuf_words: int
+    wbuf_words: int
+    #: Per-SuperBlock partial-sum tile words.
+    psumbuf_words: int
+    #: True if a host EWOP must add partial results across D3 rows.
+    ewop_accumulate: bool
+    #: True MACCs of the layer (excluding padding).
+    useful_maccs: int
+    #: MACC slots offered: n_tpe * C_exe.
+    n_tpe: int
+    #: Theoretical minimum cycles on this hardware (ceil(maccs / n_tpe)).
+    c_exe_min: int
+    #: Whether comm/comp overlap (Eqn 12 max) or serialize (ablation).
+    double_buffer: bool
+
+    # ------------------------------------------------------------------ #
+    @property
+    def c_exe(self) -> int:
+        """Overall execution time in cycles (Eqn 12)."""
+        terms = (
+            self.c_comp, self.c_actbus, self.c_psumbus,
+            self.c_dram_rd, self.c_dram_wr,
+        )
+        return max(terms) if self.double_buffer else sum(terms)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which term of Eqn 12 binds."""
+        named = {
+            "compute": self.c_comp,
+            "actbus": self.c_actbus,
+            "psumbus": self.c_psumbus,
+            "dram_rd": self.c_dram_rd,
+            "dram_wr": self.c_dram_wr,
+        }
+        return max(named, key=named.get)  # type: ignore[arg-type]
+
+    @property
+    def hardware_efficiency(self) -> float:
+        """Useful MACCs over offered MACC slots — the paper's headline
+        per-layer metric."""
+        return self.useful_maccs / (self.n_tpe * self.c_exe)
+
+    @property
+    def score(self) -> float:
+        """Objective 2 balance score (corrected Eqn 13)."""
+        return self.c_exe_min / self.c_exe + self.e_wbuf
+
+    def gops_at(self, clk_h_mhz: float) -> float:
+        """Attained throughput at a clock, in GOPS."""
+        seconds = self.c_exe / (clk_h_mhz * 1e6)
+        return 2.0 * self.useful_maccs / seconds / 1e9
+
+
+def evaluate_mapping(
+    layer: AcceleratedLayer,
+    config: OverlayConfig,
+    mapping: MappingVectors,
+) -> PerformanceEstimate:
+    """Price ``mapping`` for ``layer`` on ``config`` (Eqns 7-9).
+
+    The mapping is not checked for feasibility here; run
+    :func:`repro.compiler.constraints.check_constraints` first when the
+    mapping comes from outside the scheduler.
+    """
+    x, l_trips, t_trips = mapping.x, mapping.l, mapping.t
+
+    # --- Eqn 7: computation time ------------------------------------- #
+    # Double-pump needs >= 2 consecutive MACCs per weight word; a LoopT
+    # tile without a non-weight loop cannot provide them.
+    t_tile = mapping.tile(("T",))
+    non_weight_reuse = prod(
+        t_tile[d.name] for d in layer.loop_dims() if not d.in_weights
+    )
+    weight_stalled = config.double_pump and non_weight_reuse < 2
+    stall = 2 if weight_stalled else 1
+    c_comp = x * (l_trips * t_trips * stall + config.pipeline_latency)
+
+    # --- buffer tiles -------------------------------------------------- #
+    # ActBUF holds one LoopT tile per TPE.
+    actbuf_words = layer.act_footprint(t_tile)
+    # WBUF holds one LoopX pass's weight slice; slices swap across passes
+    # and the layer's full per-TPE slice streams from DRAM once.
+    wbuf_words = layer.weight_footprint(mapping.tile(("L", "T")))
+    wbuf_stream_words = layer.weight_footprint(mapping.tile(TEMPORAL_LEVELS))
+    # PSumBUF holds the outputs accumulated across one LoopX iteration.
+    psumbuf_words = layer.out_footprint(mapping.tile(("T", "L")))
+
+    # --- Eqn 8: ActBUS ------------------------------------------------- #
+    # One row broadcast serves all D2 columns; the D1 TPEs of a SuperBlock
+    # need distinct reduction slices, so the row tile spans T and D1.
+    f_act_row = layer.act_footprint(mapping.tile(("T", "D1")))
+    c_actbus = int(-(-x * l_trips * f_act_row // config.actbus_wpc))
+
+    # --- Eqn 9: PSumBUS ------------------------------------------------ #
+    reduction_names = {d.name for d in layer.loop_dims() if d.reduction}
+    x_maps_reduction = any(
+        mapping.trips["X"][name] > 1 for name in reduction_names
+    )
+    # Accumulating across LoopX passes re-fetches the tile before storing.
+    psum_round_trips = 2 if x_maps_reduction else 1
+    used_d3 = mapping.level_product("D3")
+    used_d2 = mapping.level_product("D2")
+    psum_volume_per_column = x * used_d3 * psumbuf_words * psum_round_trips
+    c_psumbus = int(-(-psum_volume_per_column // config.psumbus_words_per_cycle))
+
+    # --- DRAM ----------------------------------------------------------- #
+    # Activations: rows mapping different activation slices each need their
+    # own data, captured by the combined (T, D1, D3) tile footprint.
+    f_act_dram = layer.act_footprint(mapping.tile(("T", "D1", "D3")))
+    act_read_words = x * l_trips * f_act_dram
+    psum_total = x * used_d2 * used_d3 * psumbuf_words
+    psum_reread_words = psum_total * (psum_round_trips - 1)
+    # Weight streaming: every stored (possibly duplicated) weight word
+    # crosses the DRAM interface once per layer execution — unless the
+    # config declares the weights resident (§III-A1 preload).
+    stored_words = mapping.used_tpes() * wbuf_stream_words
+    streamed_words = 0 if config.weights_resident else stored_words
+    read_words = act_read_words + psum_reread_words + streamed_words
+    c_dram_rd = int(-(-read_words // config.dram_rd_words_per_cycle()))
+    c_dram_wr = int(-(-psum_total // config.dram_wr_words_per_cycle()))
+
+    # --- WBUF efficiency ------------------------------------------------ #
+    e_wbuf = layer.weight_words / stored_words if stored_words else 0.0
+
+    return PerformanceEstimate(
+        c_comp=c_comp,
+        c_actbus=c_actbus,
+        c_psumbus=c_psumbus,
+        c_dram_rd=c_dram_rd,
+        c_dram_wr=c_dram_wr,
+        e_wbuf=min(e_wbuf, 1.0),
+        weight_stalled=weight_stalled,
+        actbuf_words=actbuf_words,
+        wbuf_words=wbuf_words,
+        psumbuf_words=psumbuf_words,
+        ewop_accumulate=needs_ewop_reduction(layer, mapping.trips["D3"]),
+        useful_maccs=layer.maccs,
+        n_tpe=config.n_tpe,
+        c_exe_min=max(1, ceil_div(layer.maccs, config.n_tpe)),
+        double_buffer=config.double_buffer,
+    )

@@ -1,0 +1,93 @@
+"""Random-sampling scheduler baseline.
+
+The paper's search generates candidates "under the guidance of the
+adjacency matrix" over a structured tile lattice (§IV-D4).  This module
+is the control experiment: sample mapping vectors uniformly at random
+(respecting only the adjacency zeros and Eqn 11 coverage), keep the
+feasible ones, and return the best found.  Comparing it at an equal
+evaluation budget against :class:`repro.compiler.search.ScheduleSearch`
+quantifies what the structure buys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler.adjacency import adjacency_matrix
+from repro.compiler.constraints import check_constraints
+from repro.compiler.mapping import HW_LEVELS, MappingVectors
+from repro.compiler.model import evaluate_mapping
+from repro.compiler.search import AcceleratedLayer, Schedule
+from repro.errors import ScheduleError
+from repro.overlay.config import OverlayConfig
+from repro.units import ceil_div
+
+
+def _random_mapping(
+    layer: AcceleratedLayer,
+    config: OverlayConfig,
+    rng: random.Random,
+) -> MappingVectors:
+    """Draw one coverage-complete mapping at random.
+
+    Per loop: pick random trip counts for a random subset of the allowed
+    levels, then force LoopX to cover the remainder (Eqn 11), mirroring
+    the structured search's X handling so the comparison isolates the
+    *candidate generation*, not the coverage rule.
+    """
+    matrix = adjacency_matrix(layer)
+    sizes = layer.loop_sizes
+    caps = {"D1": config.d1, "D2": config.d2, "D3": config.d3}
+    partial: dict[str, dict[str, int]] = {level: {} for level in HW_LEVELS}
+    for name, size in sizes.items():
+        remaining = size
+        for level in ("D1", "D2", "D3", "L", "T"):
+            if not matrix[level][name] or remaining <= 1:
+                continue
+            if rng.random() < 0.5:
+                continue
+            bound = min(remaining, caps.get(level, remaining))
+            trip = rng.randint(1, bound)
+            partial[level][name] = trip
+            remaining = ceil_div(remaining, trip)
+        partial["X"][name] = remaining
+    return MappingVectors.from_partial(tuple(sizes), partial)
+
+
+def random_schedule_search(
+    layer: AcceleratedLayer,
+    config: OverlayConfig,
+    budget: int,
+    seed: int = 0,
+) -> tuple[Schedule, int]:
+    """Sample ``budget`` random mappings; return (best schedule, number of
+    feasible samples).
+
+    Raises:
+        ScheduleError: if no sampled mapping is feasible.
+    """
+    if budget < 1:
+        raise ScheduleError(f"budget must be >= 1, got {budget}")
+    rng = random.Random(seed)
+    best: Schedule | None = None
+    feasible = 0
+    for _ in range(budget):
+        mapping = _random_mapping(layer, config, rng)
+        if check_constraints(layer, config, mapping):
+            continue
+        feasible += 1
+        estimate = evaluate_mapping(layer, config, mapping)
+        if best is None or estimate.c_exe < best.estimate.c_exe:
+            best = Schedule(
+                layer=layer,
+                config=config,
+                mapping=mapping,
+                estimate=estimate,
+                objective="performance",
+            )
+    if best is None:
+        raise ScheduleError(
+            f"no feasible mapping in {budget} random samples for "
+            f"{layer.name!r}"
+        )
+    return best, feasible

@@ -1,0 +1,511 @@
+"""Mapping-vector search (paper §IV-D4).
+
+The paper's searching scheme, reproduced: generate candidates under the
+guidance of the adjacency matrix, exclude infeasible ones against the
+constraints, evaluate the rest with the analytical model, and keep the
+top-k under the requested objective.
+
+Enumeration strategy (kept exhaustive over the *structured* space):
+
+1. **Spatial** — per level (D1, D2, D3), enumerate per-loop tile sizes
+   from the ceiling-divisor lattice of each loop's trip count, bounded by
+   the level's resource cap (Eqn 10).  Joint spatial choices are ranked by
+   TPE utilization and padding so a configurable beam keeps the search
+   tractable without losing the high-performance region.
+2. **Temporal** — for each spatial choice's per-loop remainders, enumerate
+   LoopT tiles under the ActBUF capacity, then LoopL tiles (adjacency-
+   restricted) under the PSumBUF/WBUF capacities.  LoopX is then *forced*:
+   the minimal cover of each loop's remainder (Eqn 11), which is always
+   optimal because X is unconstrained and outermost.  Temporal combos are
+   memoized per remainder vector — spatial twins share them.
+
+Candidates are priced inline with the same arithmetic as
+:func:`repro.compiler.model.evaluate_mapping` (a hot loop over plain
+tuples); the top-k winners are re-materialized as full
+:class:`MappingVectors` and re-priced by the authoritative model, which
+also re-checks every constraint.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from math import prod
+
+from repro.compiler.adjacency import adjacency_matrix
+from repro.compiler.constraints import check_constraints
+from repro.compiler.mapping import MappingVectors
+from repro.compiler.model import PerformanceEstimate, evaluate_mapping
+from repro.errors import ScheduleError
+from repro.overlay.config import OverlayConfig
+from repro.units import ceil_div
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+AcceleratedLayer = ConvLayer | MatMulLayer
+
+#: Valid objective names.
+OBJECTIVES = ("performance", "balance")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One feasible schedule: mapping vectors plus their price."""
+
+    layer: AcceleratedLayer
+    config: OverlayConfig
+    mapping: MappingVectors
+    estimate: PerformanceEstimate
+    objective: str
+
+    @property
+    def cycles(self) -> int:
+        return self.estimate.c_exe
+
+    @property
+    def hardware_efficiency(self) -> float:
+        return self.estimate.hardware_efficiency
+
+    def describe(self) -> str:
+        est = self.estimate
+        return (
+            f"{self.layer.name}: {est.c_exe} cycles, "
+            f"eff {est.hardware_efficiency:.1%}, E_WBUF {est.e_wbuf:.2f}, "
+            f"bound by {est.bottleneck} | {self.mapping.describe()}"
+        )
+
+
+def ceil_tile_candidates(size: int, cap: int) -> list[int]:
+    """Tile sizes worth considering for a loop of ``size``, at most ``cap``.
+
+    The ceiling-divisor lattice ``{ceil(size / m)}`` contains, for every
+    possible split count ``m``, the smallest tile covering the loop — any
+    other tile only adds padding.  O(sqrt(size)) distinct values.
+    """
+    if size <= 0:
+        raise ScheduleError(f"loop size must be positive, got {size}")
+    cap = min(cap, size)
+    if cap < 1:
+        return [1]
+    values = set()
+    m = 1
+    while m <= size:
+        tile = ceil_div(size, m)
+        if tile <= cap:
+            values.add(tile)
+        # Jump to the next m that can change ceil(size / m).
+        m = max(m + 1, size // tile + 1) if tile > 1 else size + 1
+    values.add(1)
+    return sorted(values)
+
+
+def _level_assignments(
+    loop_sizes: dict[str, int],
+    allowed: list[str],
+    cap: int,
+) -> list[dict[str, int]]:
+    """All per-loop tile dicts for one hardware level, product <= cap."""
+    assignments: list[dict[str, int]] = []
+
+    def recurse(index: int, current: dict[str, int], budget: int) -> None:
+        if index == len(allowed):
+            assignments.append(dict(current))
+            return
+        name = allowed[index]
+        for tile in ceil_tile_candidates(loop_sizes[name], budget):
+            current[name] = tile
+            recurse(index + 1, current, budget // tile)
+        current.pop(name, None)
+
+    recurse(0, {}, cap)
+    return assignments
+
+
+@dataclass(frozen=True)
+class _TemporalCombo:
+    """One memoized (T, L, forced-X) split of a remainder vector."""
+
+    t_tile: tuple[int, ...]
+    l_tile: tuple[int, ...]
+    x_tile: tuple[int, ...]
+    t: int
+    l: int
+    x: int
+    #: ActBUF footprint of the T tile (words per TPE).
+    act_fp_t: int
+    #: PSumBUF footprint of the T*L tile (words per SuperBlock).
+    psum_fp: int
+    #: Weight words per TPE over T*L (one LoopX pass slice).
+    wbuf_slice: int
+    #: Weight words per TPE over X*L*T (the streamed slice).
+    wbuf_stream: int
+    #: Double-pump stall: T tile has no 2-cycle weight reuse.
+    stalled: bool
+    #: A LoopX trip splits a reduction loop (multipass accumulation).
+    multipass: bool
+
+
+class ScheduleSearch:
+    """Top-k mapping-vector search for one layer on one overlay config.
+
+    Args:
+        layer: CONV or MM layer to schedule.
+        config: Overlay hardware configuration.
+        objective: ``"performance"`` (Objective 1: min execution time) or
+            ``"balance"`` (Objective 2: max corrected Eqn-13 score).
+        top_k: Number of schedules to return, best first.
+        spatial_beam: Max joint spatial choices explored (ranked by TPE
+            utilization, then padding).  ``None`` explores all.
+        temporal_beam: Max (T, L) combos per remainder vector.  ``None``
+            explores all.
+    """
+
+    def __init__(
+        self,
+        layer: AcceleratedLayer,
+        config: OverlayConfig,
+        objective: str = "performance",
+        top_k: int = 1,
+        spatial_beam: int | None = 160,
+        temporal_beam: int | None = 240,
+    ):
+        if objective not in OBJECTIVES:
+            raise ScheduleError(
+                f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+            )
+        if top_k < 1:
+            raise ScheduleError(f"top_k must be >= 1, got {top_k}")
+        self.layer = layer
+        self.config = config
+        self.objective = objective
+        self.top_k = top_k
+        self.spatial_beam = spatial_beam
+        self.temporal_beam = temporal_beam
+        self._adjacency = adjacency_matrix(layer)
+        dims = layer.loop_dims()
+        self._loop_names = tuple(d.name for d in dims)
+        self._sizes = tuple(d.size for d in dims)
+        self._reduction = tuple(d.reduction for d in dims)
+        self._in_weights = tuple(d.in_weights for d in dims)
+        self._k = len(dims)
+        self.candidates_evaluated = 0
+
+    # ------------------------------------------------------------------ #
+    # fast footprint helpers on positional tiles
+    # ------------------------------------------------------------------ #
+    def _act_fp(self, tile: tuple[int, ...]) -> int:
+        layer = self.layer
+        if isinstance(layer, ConvLayer):
+            m, n, h, w, r, s = tile
+            rows = (h - 1) * layer.stride + r
+            cols = (w - 1) * layer.stride + s
+            groups_touched = 1
+            if layer.groups > 1:
+                groups_touched = min(
+                    layer.groups, -(-m // layer.group_out_channels)
+                )
+            return groups_touched * n * rows * cols
+        m, n, p = tile
+        return m * p
+
+    def _out_fp(self, tile: tuple[int, ...]) -> int:
+        if isinstance(self.layer, ConvLayer):
+            return tile[0] * tile[2] * tile[3]
+        return tile[1] * tile[2]
+
+    def _weight_fp(self, tile: tuple[int, ...]) -> int:
+        if isinstance(self.layer, ConvLayer):
+            return tile[0] * tile[1] * tile[4] * tile[5]
+        return tile[0] * tile[1]
+
+    def _nonweight_product(self, tile: tuple[int, ...]) -> int:
+        return prod(
+            t for t, in_w in zip(tile, self._in_weights) if not in_w
+        )
+
+    # ------------------------------------------------------------------ #
+    # spatial stage
+    # ------------------------------------------------------------------ #
+    def _allowed_loops(self, level: str) -> list[str]:
+        return [
+            name for name, size in zip(self._loop_names, self._sizes)
+            if self._adjacency[level][name] and size > 1
+        ]
+
+    def _spatial_choices(self) -> list[tuple[tuple[int, ...], ...]]:
+        """Joint (D1, D2, D3) positional tiles, beam-ranked."""
+        sizes = dict(zip(self._loop_names, self._sizes))
+        per_level = [
+            _level_assignments(sizes, self._allowed_loops(level), cap)
+            for level, cap in (
+                ("D1", self.config.d1),
+                ("D2", self.config.d2),
+                ("D3", self.config.d3),
+            )
+        ]
+
+        def positional(assignment: dict[str, int]) -> tuple[int, ...]:
+            return tuple(assignment.get(n, 1) for n in self._loop_names)
+
+        joint = []
+        for a1, a2, a3 in itertools.product(*per_level):
+            t1, t2, t3 = positional(a1), positional(a2), positional(a3)
+            used = prod(t1) * prod(t2) * prod(t3)
+            pad = 1.0
+            for i, size in enumerate(self._sizes):
+                split = t1[i] * t2[i] * t3[i]
+                if split > 1:
+                    tile = ceil_div(size, split)
+                    pad *= (tile * split) / size if tile * split > size else 1.0
+            joint.append((used, pad, (t1, t2, t3)))
+        joint.sort(key=lambda item: (-item[0], item[1]))
+        if self.spatial_beam is not None:
+            joint = joint[: self.spatial_beam]
+        return [spatial for _, _, spatial in joint]
+
+    # ------------------------------------------------------------------ #
+    # temporal stage (memoized per remainder vector)
+    # ------------------------------------------------------------------ #
+    def _t_tiles(self, rem: tuple[int, ...]) -> list[tuple[int, ...]]:
+        allowed = set(self._allowed_loops("T"))
+        active = [
+            i for i, name in enumerate(self._loop_names)
+            if name in allowed and rem[i] > 1
+        ]
+        act_cap = self.config.actbuf_usable_words
+        psum_cap = self.config.psumbuf_usable_words
+        wbuf_cap = self.config.s_wbuf_words
+        tiles: list[tuple[int, ...]] = []
+        current = [1] * self._k
+
+        def recurse(pos: int) -> None:
+            if pos == len(active):
+                tiles.append(tuple(current))
+                return
+            i = active[pos]
+            # Largest tiles first: they amortize LoopX overhead best.
+            for tile in reversed(ceil_tile_candidates(rem[i], rem[i])):
+                current[i] = tile
+                candidate = tuple(current)
+                if (
+                    self._act_fp(candidate) <= act_cap
+                    and self._out_fp(candidate) <= psum_cap
+                    and self._weight_fp(candidate) <= wbuf_cap
+                ):
+                    recurse(pos + 1)
+            current[i] = 1
+
+        recurse(0)
+        return tiles or [tuple(current)]
+
+    def _temporal_combos(self, rem: tuple[int, ...]) -> list[_TemporalCombo]:
+        l_allowed = set(self._allowed_loops("L"))
+        l_active_base = [
+            i for i, name in enumerate(self._loop_names) if name in l_allowed
+        ]
+        combos: list[_TemporalCombo] = []
+        psum_cap = self.config.psumbuf_usable_words
+        wbuf_cap = self.config.s_wbuf_words
+
+        for t_tile in self._t_tiles(rem):
+            if self.temporal_beam is not None and len(combos) >= self.temporal_beam:
+                break
+            # Enumerate L tiles over the loops still carrying iterations.
+            l_choices: list[tuple[int, ...]] = [tuple([1] * self._k)]
+            for i in l_active_base:
+                remaining = ceil_div(rem[i], t_tile[i])
+                if remaining <= 1:
+                    continue
+                extended = []
+                for base in l_choices:
+                    for tile in reversed(ceil_tile_candidates(remaining, remaining)):
+                        candidate = list(base)
+                        candidate[i] = tile
+                        combined = tuple(
+                            t_tile[j] * candidate[j] for j in range(self._k)
+                        )
+                        if (
+                            self._out_fp(combined) <= psum_cap
+                            and self._weight_fp(combined) <= wbuf_cap
+                        ):
+                            extended.append(tuple(candidate))
+                if extended:
+                    l_choices = extended
+            for l_tile in l_choices:
+                if (
+                    self.temporal_beam is not None
+                    and len(combos) >= self.temporal_beam
+                ):
+                    break
+                x_tile = tuple(
+                    ceil_div(rem[i], t_tile[i] * l_tile[i])
+                    for i in range(self._k)
+                )
+                lt_tile = tuple(
+                    t_tile[i] * l_tile[i] for i in range(self._k)
+                )
+                xlt_tile = tuple(
+                    lt_tile[i] * x_tile[i] for i in range(self._k)
+                )
+                combos.append(
+                    _TemporalCombo(
+                        t_tile=t_tile,
+                        l_tile=l_tile,
+                        x_tile=x_tile,
+                        t=prod(t_tile),
+                        l=prod(l_tile),
+                        x=prod(x_tile),
+                        act_fp_t=self._act_fp(t_tile),
+                        psum_fp=self._out_fp(lt_tile),
+                        wbuf_slice=self._weight_fp(lt_tile),
+                        wbuf_stream=self._weight_fp(xlt_tile),
+                        stalled=(
+                            self.config.double_pump
+                            and self._nonweight_product(t_tile) < 2
+                        ),
+                        multipass=any(
+                            x_tile[i] > 1
+                            for i in range(self._k)
+                            if self._reduction[i]
+                        ),
+                    )
+                )
+        return combos
+
+    # ------------------------------------------------------------------ #
+    # pricing (mirrors evaluate_mapping on plain tuples)
+    # ------------------------------------------------------------------ #
+    def _price(
+        self,
+        spatial: tuple[tuple[int, ...], ...],
+        combo: _TemporalCombo,
+    ) -> tuple[int, float, float]:
+        """Return (c_exe, e_wbuf, score) for one candidate."""
+        config = self.config
+        d1_tile, d2_tile, d3_tile = spatial
+        used_d1, used_d2, used_d3 = prod(d1_tile), prod(d2_tile), prod(d3_tile)
+        used_tpes = used_d1 * used_d2 * used_d3
+
+        stall = 2 if combo.stalled else 1
+        c_comp = combo.x * (combo.l * combo.t * stall + config.pipeline_latency)
+
+        td1 = tuple(combo.t_tile[i] * d1_tile[i] for i in range(self._k))
+        f_act_row = self._act_fp(td1)
+        c_actbus = int(
+            -(-combo.x * combo.l * f_act_row // config.actbus_wpc)
+        )
+
+        round_trips = 2 if combo.multipass else 1
+        c_psumbus = int(
+            -(-combo.x * used_d3 * combo.psum_fp * round_trips
+              // config.psumbus_words_per_cycle)
+        )
+
+        td1d3 = tuple(td1[i] * d3_tile[i] for i in range(self._k))
+        act_read = combo.x * combo.l * self._act_fp(td1d3)
+        psum_total = combo.x * used_d2 * used_d3 * combo.psum_fp
+        stored = used_tpes * combo.wbuf_stream
+        streamed = 0 if config.weights_resident else stored
+        read_words = act_read + psum_total * (round_trips - 1) + streamed
+        c_dram_rd = int(-(-read_words // config.dram_rd_words_per_cycle()))
+        c_dram_wr = int(-(-psum_total // config.dram_wr_words_per_cycle()))
+
+        terms = (c_comp, c_actbus, c_psumbus, c_dram_rd, c_dram_wr)
+        c_exe = max(terms) if config.double_buffer else sum(terms)
+
+        e_wbuf = min(1.0, self.layer.weight_words / stored) if stored else 0.0
+        c_min = max(1, ceil_div(self.layer.maccs, config.n_tpe))
+        score = c_min / c_exe + e_wbuf
+        return c_exe, e_wbuf, score
+
+    def _objective_key(self, c_exe: int, e_wbuf: float, score: float) -> tuple:
+        if self.objective == "performance":
+            return (c_exe, -e_wbuf)
+        return (-score, c_exe)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> list[Schedule]:
+        """Execute the search; returns top-k schedules, best first.
+
+        Raises:
+            ScheduleError: if no feasible mapping exists (e.g. buffers too
+                small for any tile of this layer).
+        """
+        heap: list[tuple[tuple, int, tuple, _TemporalCombo]] = []
+        counter = itertools.count()
+        temporal_memo: dict[tuple[int, ...], list[_TemporalCombo]] = {}
+
+        for spatial in self._spatial_choices():
+            d1_tile, d2_tile, d3_tile = spatial
+            rem = tuple(
+                ceil_div(
+                    self._sizes[i],
+                    d1_tile[i] * d2_tile[i] * d3_tile[i],
+                )
+                for i in range(self._k)
+            )
+            combos = temporal_memo.get(rem)
+            if combos is None:
+                combos = self._temporal_combos(rem)
+                temporal_memo[rem] = combos
+            for combo in combos:
+                c_exe, e_wbuf, score = self._price(spatial, combo)
+                self.candidates_evaluated += 1
+                key = self._objective_key(c_exe, e_wbuf, score)
+                neg_key = tuple(-v for v in key)
+                entry = (neg_key, next(counter), spatial, combo)
+                if len(heap) < self.top_k:
+                    heapq.heappush(heap, entry)
+                else:
+                    heapq.heappushpop(heap, entry)
+
+        if not heap:
+            raise ScheduleError(
+                f"no feasible schedule for layer {self.layer.name!r} on "
+                f"({self.config.d1}, {self.config.d2}, {self.config.d3})"
+            )
+
+        results = sorted(heap, key=lambda item: tuple(-v for v in item[0]))
+        schedules = [self._materialize(spatial, combo) for _, _, spatial, combo in results]
+
+        violations = check_constraints(self.layer, self.config, schedules[0].mapping)
+        if violations:
+            raise ScheduleError(
+                f"search produced an infeasible winner for {self.layer.name!r}: "
+                f"{violations}"
+            )
+        return schedules
+
+    def _materialize(
+        self,
+        spatial: tuple[tuple[int, ...], ...],
+        combo: _TemporalCombo,
+    ) -> Schedule:
+        """Build the full mapping and re-price it authoritatively."""
+        names = self._loop_names
+        partial = {
+            "D1": dict(zip(names, spatial[0])),
+            "D2": dict(zip(names, spatial[1])),
+            "D3": dict(zip(names, spatial[2])),
+            "X": dict(zip(names, combo.x_tile)),
+            "L": dict(zip(names, combo.l_tile)),
+            "T": dict(zip(names, combo.t_tile)),
+        }
+        mapping = MappingVectors.from_partial(names, partial)
+        estimate = evaluate_mapping(self.layer, self.config, mapping)
+        return Schedule(
+            layer=self.layer,
+            config=self.config,
+            mapping=mapping,
+            estimate=estimate,
+            objective=self.objective,
+        )
+
+
+def schedule_layer(
+    layer: AcceleratedLayer,
+    config: OverlayConfig,
+    objective: str = "performance",
+) -> Schedule:
+    """Convenience wrapper: best schedule for ``layer`` on ``config``."""
+    return ScheduleSearch(layer, config, objective=objective, top_k=1).run()[0]

@@ -1,0 +1,19 @@
+"""DRAM substrate: bandwidth and power models.
+
+Replaces the paper's use of the DRAMPower tool: a DDR4-class current/energy
+model driven by the simulator's access traces, plus the 26 GB/s transfer
+model behind the compiler's ``C_dram`` terms.
+"""
+
+from repro.dram.spec import DramSpec, DDR4_2400
+from repro.dram.bandwidth import transfer_cycles, sustained_bandwidth_gbps
+from repro.dram.power import DramPowerReport, estimate_power
+
+__all__ = [
+    "DramSpec",
+    "DDR4_2400",
+    "transfer_cycles",
+    "sustained_bandwidth_gbps",
+    "DramPowerReport",
+    "estimate_power",
+]

@@ -1,0 +1,27 @@
+"""Transfer-time model for the off-chip interface."""
+
+from __future__ import annotations
+
+from repro.dram.spec import DramSpec
+from repro.errors import FTDLError
+from repro.units import BYTES_PER_WORD
+
+
+def sustained_bandwidth_gbps(spec: DramSpec) -> float:
+    """Sustained bandwidth of ``spec`` in GB/s."""
+    return spec.sustained_gbps
+
+
+def transfer_cycles(words: int, clk_mhz: float, bandwidth_gbps: float) -> int:
+    """Cycles at ``clk_mhz`` to move ``words`` at ``bandwidth_gbps``.
+
+    This is the conversion behind the compiler's ``C_dram`` terms: volume
+    divided by the pre-set DRAM bandwidth, expressed in CLK_h cycles.
+    """
+    if words < 0:
+        raise FTDLError(f"negative transfer of {words} words")
+    if clk_mhz <= 0 or bandwidth_gbps <= 0:
+        raise FTDLError("clock and bandwidth must be positive")
+    bytes_total = words * BYTES_PER_WORD
+    seconds = bytes_total / (bandwidth_gbps * 1e9)
+    return int(-(-seconds * clk_mhz * 1e6 // 1))

@@ -1,0 +1,67 @@
+"""DDR device specifications for the power/bandwidth models.
+
+The parameters mirror the quantities a DRAMPower XML device description
+carries: interface geometry, clock, and IDD-style current classes folded
+into per-event energies.  Values are representative of a 64-bit DDR4-2400
+DIMM (the kind of interface behind the paper's 26 GB/s assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FTDLError
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """One DRAM interface.
+
+    Attributes:
+        name: Device/DIMM identifier.
+        data_bits: Interface width.
+        clock_mhz: I/O bus clock (DDR transfers on both edges).
+        peak_gbps: Peak theoretical bandwidth.
+        efficiency: Sustained fraction of peak under streaming access
+            (row-buffer friendly; the paper's 26 GB/s on a 38.4 GB/s DIMM
+            corresponds to ~0.68).
+        energy_per_byte_rd_pj: Read energy per byte (activation + I/O,
+            amortized IDD4R-style).
+        energy_per_byte_wr_pj: Write energy per byte.
+        background_power_w: Standby + refresh power while powered.
+    """
+
+    name: str
+    data_bits: int
+    clock_mhz: float
+    peak_gbps: float
+    efficiency: float
+    energy_per_byte_rd_pj: float
+    energy_per_byte_wr_pj: float
+    background_power_w: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise FTDLError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.peak_gbps <= 0:
+            raise FTDLError(f"peak bandwidth must be positive, got {self.peak_gbps}")
+
+    @property
+    def sustained_gbps(self) -> float:
+        """Bandwidth the scheduler may plan against."""
+        return self.peak_gbps * self.efficiency
+
+
+#: A 64-bit DDR4-2400 DIMM: 2400 MT/s * 8 B = 19.2 GB/s per channel; two
+#: channels give the platform-level 38.4 GB/s peak / ~26 GB/s sustained the
+#: paper assumes.
+DDR4_2400 = DramSpec(
+    name="DDR4-2400-2ch",
+    data_bits=128,
+    clock_mhz=1200.0,
+    peak_gbps=38.4,
+    efficiency=0.68,
+    energy_per_byte_rd_pj=52.0,
+    energy_per_byte_wr_pj=56.0,
+    background_power_w=1.6,
+)

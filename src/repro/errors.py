@@ -1,0 +1,43 @@
+"""Exception hierarchy for the FTDL reproduction library.
+
+All library-specific errors derive from :class:`FTDLError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class FTDLError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DeviceError(FTDLError):
+    """A device model is malformed or an unknown device was requested."""
+
+
+class ResourceError(FTDLError):
+    """An overlay configuration does not fit on the target device."""
+
+
+class ClockingError(FTDLError):
+    """A clock configuration violates primitive timing limits."""
+
+
+class MappingError(FTDLError):
+    """A mapping vector is structurally invalid for its workload."""
+
+
+class ScheduleError(FTDLError):
+    """The scheduler could not produce a feasible schedule."""
+
+
+class WorkloadError(FTDLError):
+    """A layer or network definition is malformed."""
+
+
+class SimulationError(FTDLError):
+    """The cycle simulator detected an inconsistency at run time."""
+
+
+class IsaError(FTDLError):
+    """An instruction could not be encoded or decoded."""

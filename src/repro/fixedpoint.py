@@ -1,0 +1,53 @@
+"""Fixed-point helpers matching the overlay datapath.
+
+The overlay computes on 16-bit two's-complement weights and activations
+(the quantization scheme of Table I) with 48-bit wrapping accumulation —
+the native behaviour of a DSP48 cascade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INT16_MIN = -(1 << 15)
+INT16_MAX = (1 << 15) - 1
+
+_ACC_BITS = 48
+_ACC_MOD = 1 << _ACC_BITS
+_ACC_HALF = 1 << (_ACC_BITS - 1)
+
+
+def to_int16(values: np.ndarray | int | float) -> np.ndarray:
+    """Saturate ``values`` into int16, matching the quantizer's clamp."""
+    return np.clip(np.asarray(values), INT16_MIN, INT16_MAX).astype(np.int16)
+
+
+def wrap48(value: int | np.ndarray) -> int | np.ndarray:
+    """Wrap an accumulator value into the signed 48-bit range.
+
+    This is the overflow behaviour of the DSP48 accumulation cascade; the
+    compiler's tile sizes keep real workloads well inside the range, and
+    the simulator asserts that property at run time.
+    """
+    if isinstance(value, np.ndarray):
+        wrapped = np.mod(value.astype(object) + _ACC_HALF, _ACC_MOD) - _ACC_HALF
+        return wrapped.astype(np.int64)
+    return int((int(value) + _ACC_HALF) % _ACC_MOD - _ACC_HALF)
+
+
+def quantize_symmetric(real: np.ndarray, n_bits: int = 16) -> tuple[np.ndarray, float]:
+    """Symmetric linear quantization of a float tensor.
+
+    Returns the integer tensor (int16) and the scale such that
+    ``real ~= integer * scale``.  Used to build bit-true test inputs from
+    float reference data.
+    """
+    if n_bits < 2 or n_bits > 16:
+        raise ValueError(f"n_bits must be in [2, 16], got {n_bits}")
+    real = np.asarray(real, dtype=np.float64)
+    peak = float(np.max(np.abs(real))) if real.size else 0.0
+    if peak == 0.0:
+        return np.zeros(real.shape, dtype=np.int16), 1.0
+    qmax = (1 << (n_bits - 1)) - 1
+    scale = peak / qmax
+    return to_int16(np.round(real / scale)), scale

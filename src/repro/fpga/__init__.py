@@ -1,0 +1,44 @@
+"""FPGA substrate models: primitives, device floorplans, placement, timing.
+
+This subpackage replaces the Vivado place-and-route flow of the paper with a
+column-accurate floorplan model plus a net-delay timing estimator.  It is the
+substrate behind the Fig. 6 scalability experiment and the systolic-baseline
+mismatch demonstration.
+"""
+
+from repro.fpga.primitives import (
+    PrimitiveKind,
+    PrimitiveSpec,
+    DSP48E1,
+    DSP48E2,
+    BRAM18_7SERIES,
+    BRAM18_ULTRASCALE,
+    CLB_7SERIES,
+    CLB_ULTRASCALE,
+)
+from repro.fpga.devices import Device, FabricColumn, get_device, list_devices
+from repro.fpga.clocking import ClockPlan, plan_double_pump
+from repro.fpga.placement import Placement, place_overlay, place_systolic
+from repro.fpga.timing import TimingModel, TimingReport
+
+__all__ = [
+    "PrimitiveKind",
+    "PrimitiveSpec",
+    "DSP48E1",
+    "DSP48E2",
+    "BRAM18_7SERIES",
+    "BRAM18_ULTRASCALE",
+    "CLB_7SERIES",
+    "CLB_ULTRASCALE",
+    "Device",
+    "FabricColumn",
+    "get_device",
+    "list_devices",
+    "ClockPlan",
+    "plan_double_pump",
+    "Placement",
+    "place_overlay",
+    "place_systolic",
+    "TimingModel",
+    "TimingReport",
+]

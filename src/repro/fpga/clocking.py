@@ -1,0 +1,104 @@
+"""Double-pump clock planning (paper §III-A2).
+
+A TPE runs its BRAM on a slow clock ``CLK_l`` and its DSP plus distributed
+RAM on a synchronized clock ``CLK_h`` at exactly twice the frequency.  Each
+weight fetched from BRAM on one ``CLK_l`` edge is consumed by the DSP on two
+consecutive ``CLK_h`` cycles, paired with two different activations — so the
+overlay's MACC rate is set by ``CLK_h`` while the BRAM only needs to keep up
+at half that rate.
+
+:func:`plan_double_pump` computes the fastest legal pair for a device, and
+is also used with ``double_pump=False`` to quantify the ablation where the
+whole TPE runs at the BRAM-limited single clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClockingError
+from repro.fpga.devices import Device
+
+
+@dataclass(frozen=True)
+class ClockPlan:
+    """A legal (CLK_h, CLK_l) pair for a device.
+
+    Attributes:
+        clk_h_mhz: Fast clock driving the DSP and distributed RAM.
+        clk_l_mhz: Slow clock driving the BRAM.
+        double_pump: Whether CLK_h = 2 x CLK_l (True) or the whole TPE runs
+            on the single BRAM-limited clock (False, ablation mode).
+        weight_reuse_cycles: CLK_h cycles each BRAM weight word is held for.
+    """
+
+    clk_h_mhz: float
+    clk_l_mhz: float
+    double_pump: bool
+
+    @property
+    def weight_reuse_cycles(self) -> int:
+        return 2 if self.double_pump else 1
+
+    def validate(self, device: Device) -> None:
+        """Raise :class:`ClockingError` if this plan violates device limits."""
+        if self.clk_h_mhz <= 0 or self.clk_l_mhz <= 0:
+            raise ClockingError("clock frequencies must be positive")
+        if self.clk_h_mhz > device.dsp.fmax_mhz:
+            raise ClockingError(
+                f"CLK_h {self.clk_h_mhz:.0f} MHz exceeds DSP fmax "
+                f"{device.dsp.fmax_mhz:.0f} MHz on {device.name}"
+            )
+        if self.clk_h_mhz > device.clb.fmax_mhz:
+            raise ClockingError(
+                f"CLK_h {self.clk_h_mhz:.0f} MHz exceeds CLB fmax "
+                f"{device.clb.fmax_mhz:.0f} MHz on {device.name}"
+            )
+        if self.clk_l_mhz > device.bram.fmax_mhz:
+            raise ClockingError(
+                f"CLK_l {self.clk_l_mhz:.0f} MHz exceeds BRAM fmax "
+                f"{device.bram.fmax_mhz:.0f} MHz on {device.name}"
+            )
+        if self.double_pump:
+            ratio = self.clk_h_mhz / self.clk_l_mhz
+            if abs(ratio - 2.0) > 1e-9:
+                raise ClockingError(
+                    f"double-pump requires CLK_h = 2 x CLK_l, got ratio {ratio:.4f}"
+                )
+        elif abs(self.clk_h_mhz - self.clk_l_mhz) > 1e-9:
+            raise ClockingError(
+                "single-clock mode requires CLK_h == CLK_l "
+                f"(got {self.clk_h_mhz} and {self.clk_l_mhz})"
+            )
+
+
+def plan_double_pump(
+    device: Device,
+    target_clk_h_mhz: float | None = None,
+    double_pump: bool = True,
+) -> ClockPlan:
+    """Return the fastest legal :class:`ClockPlan` for ``device``.
+
+    Args:
+        device: Target device model.
+        target_clk_h_mhz: Optional cap on CLK_h (e.g. the post-P&R fmax from
+            :class:`repro.fpga.timing.TimingModel`).  ``None`` uses only the
+            primitive datasheet limits.
+        double_pump: If False, plan the single-clock ablation where the DSP
+            is throttled to the BRAM fmax.
+
+    Returns:
+        The fastest legal plan at or below the requested target.
+    """
+    if double_pump:
+        clk_h = min(device.dsp.fmax_mhz, device.clb.fmax_mhz, 2 * device.bram.fmax_mhz)
+    else:
+        clk_h = min(device.dsp.fmax_mhz, device.clb.fmax_mhz, device.bram.fmax_mhz)
+    if target_clk_h_mhz is not None:
+        if target_clk_h_mhz <= 0:
+            raise ClockingError(f"target CLK_h must be positive, got {target_clk_h_mhz}")
+        clk_h = min(clk_h, target_clk_h_mhz)
+    clk_l = clk_h / 2 if double_pump else clk_h
+    plan = ClockPlan(clk_h_mhz=clk_h, clk_l_mhz=clk_l, double_pump=double_pump)
+    plan.validate(device)
+    return plan

@@ -1,0 +1,245 @@
+"""Column-level FPGA device floorplans.
+
+Modern Xilinx fabrics are *tiled*: primitives live in homogeneous vertical
+columns that repeat horizontally (… CLB CLB BRAM CLB DSP CLB …).  FTDL's whole
+argument is that an overlay whose unit cell matches this column structure
+places predictably, so the device model here keeps exactly the information
+that argument needs:
+
+* which fabric columns hold DSPs, BRAM18s, and CLBs, and at what x position;
+* how many sites each column holds vertically;
+* the physical pitch between columns and between vertical sites, so the
+  timing model can convert placement distances into net delays.
+
+The floorplans are simplified relative to real parts (one monolithic column
+instead of per-clock-region segments) but keep the real column counts,
+primitive totals, and DSP:BRAM adjacency that the paper's Fig. 6 depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+from repro.fpga.primitives import (
+    BRAM18_7SERIES,
+    BRAM18_ULTRASCALE,
+    CLB_7SERIES,
+    CLB_ULTRASCALE,
+    DSP48E1,
+    DSP48E2,
+    PrimitiveKind,
+    PrimitiveSpec,
+)
+
+
+@dataclass(frozen=True)
+class FabricColumn:
+    """One vertical column of identical primitive sites.
+
+    Attributes:
+        index: X position of the column in fabric-column units.
+        kind: Primitive class of every site in this column.
+        n_sites: Number of primitive sites stacked vertically.
+    """
+
+    index: int
+    kind: PrimitiveKind
+    n_sites: int
+
+
+@dataclass(frozen=True)
+class Device:
+    """A column-level floorplan of one FPGA part.
+
+    Attributes:
+        name: Part name, e.g. ``"vu125"``.
+        family: Fabric family, e.g. ``"ultrascale"``.
+        dsp: Timing spec of the DSP primitive on this part.
+        bram: Timing spec of the BRAM18 primitive.
+        clb: Timing spec of the CLB.
+        columns: All fabric columns, ordered by x index.
+        column_pitch_ns: Signal propagation delay across one fabric-column
+            pitch on general routing (ns).
+        site_pitch_ns: Propagation delay across one vertical site pitch (ns).
+        route_base_ns: Fixed cost of entering general routing (switchbox
+            hops) that every non-dedicated net pays regardless of length.
+        n_clb_total: Total CLBs available (for resource accounting of
+            distributed RAM and control logic).
+    """
+
+    name: str
+    family: str
+    dsp: PrimitiveSpec
+    bram: PrimitiveSpec
+    clb: PrimitiveSpec
+    columns: tuple[FabricColumn, ...]
+    column_pitch_ns: float
+    site_pitch_ns: float
+    route_base_ns: float
+    n_clb_total: int
+
+    # ------------------------------------------------------------------ #
+    # column queries
+    # ------------------------------------------------------------------ #
+    def columns_of(self, kind: PrimitiveKind) -> list[FabricColumn]:
+        """Return all columns of one primitive kind, ordered by x index."""
+        return [c for c in self.columns if c.kind == kind]
+
+    @property
+    def dsp_columns(self) -> list[FabricColumn]:
+        return self.columns_of(PrimitiveKind.DSP)
+
+    @property
+    def bram_columns(self) -> list[FabricColumn]:
+        return self.columns_of(PrimitiveKind.BRAM)
+
+    @property
+    def n_dsp_total(self) -> int:
+        return sum(c.n_sites for c in self.dsp_columns)
+
+    @property
+    def n_bram18_total(self) -> int:
+        return sum(c.n_sites for c in self.bram_columns)
+
+    @property
+    def dsps_per_column(self) -> int:
+        """Sites in the tallest DSP column (all columns are equal height)."""
+        return max(c.n_sites for c in self.dsp_columns)
+
+    def nearest_bram_column(self, dsp_column: FabricColumn) -> FabricColumn:
+        """Return the BRAM column closest to ``dsp_column`` in x."""
+        brams = self.bram_columns
+        if not brams:
+            raise DeviceError(f"device {self.name} has no BRAM columns")
+        return min(brams, key=lambda c: abs(c.index - dsp_column.index))
+
+    def dsp_bram_spacing(self, dsp_column: FabricColumn) -> int:
+        """Column distance from a DSP column to its nearest BRAM column."""
+        return abs(self.nearest_bram_column(dsp_column).index - dsp_column.index)
+
+    def validate(self) -> None:
+        """Raise :class:`DeviceError` if the floorplan is inconsistent."""
+        if not self.dsp_columns:
+            raise DeviceError(f"device {self.name} has no DSP columns")
+        if not self.bram_columns:
+            raise DeviceError(f"device {self.name} has no BRAM columns")
+        indices = [c.index for c in self.columns]
+        if len(set(indices)) != len(indices):
+            raise DeviceError(f"device {self.name} has duplicate column indices")
+        if sorted(indices) != indices:
+            raise DeviceError(f"device {self.name} columns are not x-ordered")
+        for col in self.columns:
+            if col.n_sites <= 0:
+                raise DeviceError(
+                    f"device {self.name} column {col.index} has no sites"
+                )
+
+
+def _build_columns(
+    n_groups: int,
+    dsps_per_column: int,
+    brams_per_column: int,
+    clbs_per_column: int,
+    extra_bram_groups: int = 0,
+) -> tuple[FabricColumn, ...]:
+    """Build a repeating ``CLB CLB BRAM CLB DSP CLB`` fabric pattern.
+
+    Each group contributes one DSP column with a BRAM column two fabric
+    columns away — the local pairing a TPE exploits.  ``extra_bram_groups``
+    appends BRAM-only groups to model parts whose BRAM count exceeds their
+    DSP count (e.g. the vu125's 2520 BRAM18 vs 1200 DSP).
+    """
+    columns: list[FabricColumn] = []
+    x = 0
+    for _ in range(n_groups):
+        for kind, sites in (
+            (PrimitiveKind.CLB, clbs_per_column),
+            (PrimitiveKind.CLB, clbs_per_column),
+            (PrimitiveKind.BRAM, brams_per_column),
+            (PrimitiveKind.CLB, clbs_per_column),
+            (PrimitiveKind.DSP, dsps_per_column),
+            (PrimitiveKind.CLB, clbs_per_column),
+        ):
+            columns.append(FabricColumn(index=x, kind=kind, n_sites=sites))
+            x += 1
+    for _ in range(extra_bram_groups):
+        for kind, sites in (
+            (PrimitiveKind.CLB, clbs_per_column),
+            (PrimitiveKind.BRAM, brams_per_column),
+            (PrimitiveKind.CLB, clbs_per_column),
+        ):
+            columns.append(FabricColumn(index=x, kind=kind, n_sites=sites))
+            x += 1
+    return tuple(columns)
+
+
+def _make_device(
+    name: str,
+    family: str,
+    n_dsp_columns: int,
+    dsps_per_column: int,
+    extra_bram_groups: int,
+    n_clb_total: int,
+) -> Device:
+    if family == "7series":
+        dsp, bram, clb = DSP48E1, BRAM18_7SERIES, CLB_7SERIES
+        column_pitch_ns, site_pitch_ns, route_base_ns = 0.070, 0.014, 0.54
+    elif family == "ultrascale":
+        dsp, bram, clb = DSP48E2, BRAM18_ULTRASCALE, CLB_ULTRASCALE
+        column_pitch_ns, site_pitch_ns, route_base_ns = 0.060, 0.012, 0.48
+    else:
+        raise DeviceError(f"unknown family {family!r}")
+    device = Device(
+        name=name,
+        family=family,
+        dsp=dsp,
+        bram=bram,
+        clb=clb,
+        columns=_build_columns(
+            n_groups=n_dsp_columns,
+            dsps_per_column=dsps_per_column,
+            brams_per_column=dsps_per_column,
+            clbs_per_column=dsps_per_column * 2,
+            extra_bram_groups=extra_bram_groups,
+        ),
+        column_pitch_ns=column_pitch_ns,
+        site_pitch_ns=site_pitch_ns,
+        route_base_ns=route_base_ns,
+        n_clb_total=n_clb_total,
+    )
+    device.validate()
+    return device
+
+
+# Device catalogue.  DSP totals and column heights follow the real parts
+# within the single-column simplification; the two paper devices come first.
+_CATALOGUE: dict[str, Device] = {}
+
+for _spec in (
+    # name, family, dsp_cols, dsp/col, extra bram groups, clbs
+    ("7vx330t", "7series", 7, 160, 2, 51000),
+    ("vu125", "ultrascale", 5, 240, 5, 71000),
+    ("7vx690t", "7series", 20, 180, 0, 108300),
+    ("vu9p", "ultrascale", 28, 240, 8, 147000),
+    ("zu7ev", "ultrascale", 9, 192, 0, 28800),
+):
+    _CATALOGUE[_spec[0]] = _make_device(*_spec)
+
+
+def get_device(name: str) -> Device:
+    """Return the catalogued :class:`Device` called ``name``.
+
+    Raises:
+        DeviceError: if the part is not in the catalogue.
+    """
+    try:
+        return _CATALOGUE[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOGUE))
+        raise DeviceError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def list_devices() -> list[str]:
+    """Return the names of all catalogued devices."""
+    return sorted(_CATALOGUE)

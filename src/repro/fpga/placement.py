@@ -1,0 +1,317 @@
+"""Placement of overlay and baseline designs onto a device floorplan.
+
+This module stands in for the Vivado placer.  It produces a
+:class:`Placement`: the set of primitive sites each design element occupies
+plus the *nets* connecting them, each net annotated with its Manhattan
+distance in fabric units.  The :mod:`repro.fpga.timing` model turns those
+distances into delays and a post-place-and-route fmax.
+
+Two placers are provided:
+
+* :func:`place_overlay` — the FTDL strategy.  Each TPE groups one DSP site,
+  the BRAM site at the same height in the *nearest* BRAM column, and adjacent
+  CLBs; inter-TPE accumulation rides the dedicated DSP cascade.  Every net's
+  length is therefore independent of design scale, which is the mechanism
+  behind Fig. 6's flat fmax curves.
+
+* :func:`place_systolic` — the boundary-fed systolic baseline from the
+  paper's introduction.  Activation and weight memories sit at the fabric
+  edge and feed interior PEs directly, so the worst net grows with the array
+  size and fmax collapses as the design scales (the *architecture-layout
+  mismatch*).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceError
+from repro.fpga.devices import Device
+from repro.fpga.primitives import PrimitiveKind
+
+
+@dataclass(frozen=True)
+class Net:
+    """One placed net with its routing distance.
+
+    Attributes:
+        name: Human-readable identifier of the worst instance of this net
+            class (e.g. ``"wbuf_rd[col3]"``).
+        src_kind: Primitive driving the net.
+        dst_kind: Primitive receiving the net.
+        dx_columns: Horizontal span in fabric columns.
+        dy_sites: Vertical span in primitive-site units.
+        clock_domain: ``"h"`` for CLK_h-budget nets, ``"l"`` for CLK_l-budget
+            nets (BRAM side of a double-pumped TPE).
+        dedicated: True if the net uses dedicated silicon (DSP cascade),
+            which bypasses general routing entirely.
+        fanout: Number of loads; high fanout adds delay unless pipelined.
+    """
+
+    name: str
+    src_kind: PrimitiveKind
+    dst_kind: PrimitiveKind
+    dx_columns: int
+    dy_sites: int
+    clock_domain: str = "h"
+    dedicated: bool = False
+    fanout: int = 1
+
+
+@dataclass
+class Placement:
+    """Result of placing a design: occupied sites and the net list.
+
+    Attributes:
+        device: The device the design was placed on.
+        style: ``"ftdl"`` or ``"systolic"``.
+        n_dsp_used: DSP sites consumed.
+        n_bram_used: BRAM18 sites consumed.
+        n_clb_used: CLB sites consumed (distributed RAM + control).
+        nets: Worst-instance nets per net class; the timing model evaluates
+            all of them.
+        seed: Deterministic per-design jitter seed (models run-to-run P&R
+            variation).
+    """
+
+    device: Device
+    style: str
+    n_dsp_used: int
+    n_bram_used: int
+    n_clb_used: int
+    nets: list[Net] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def dsp_utilization(self) -> float:
+        return self.n_dsp_used / self.device.n_dsp_total
+
+    @property
+    def bram_utilization(self) -> float:
+        return self.n_bram_used / self.device.n_bram18_total
+
+    @property
+    def clb_utilization(self) -> float:
+        return self.n_clb_used / self.device.n_clb_total
+
+
+def _design_seed(*parts: object) -> int:
+    """Deterministic 32-bit seed derived from the design identity."""
+    text = "|".join(str(p) for p in parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "big")
+
+
+#: CLBs per TPE: the 128 x 16 bit distributed-RAM ActBUF (32 LUT6s as
+#: 64x1 LUTRAM = 4 CLBs), address generation, and pipeline registers.
+CLBS_PER_TPE = 16
+
+#: CLBs per SuperBlock controller (instruction decode + loop counters).
+CLBS_PER_CONTROLLER = 200
+
+#: Extra BRAM18s per SuperBlock for the partial-sum buffer.
+BRAMS_PER_PSUMBUF = 2
+
+
+def place_overlay(device: Device, d1: int, d2: int, d3: int) -> Placement:
+    """Place a ``D1 x D2 x D3`` FTDL overlay on ``device``.
+
+    Each of the ``d2`` SuperBlock columns occupies one DSP column, holding
+    ``d1 * d3`` TPEs stacked vertically (paper §III-D constraints).
+
+    Raises:
+        ResourceError: if the overlay violates the device's column geometry
+            or exhausts a primitive type.
+    """
+    if min(d1, d2, d3) < 1:
+        raise ResourceError(f"overlay dimensions must be >= 1, got ({d1},{d2},{d3})")
+    dsp_columns = device.dsp_columns
+    if d2 > len(dsp_columns):
+        raise ResourceError(
+            f"D2={d2} exceeds the {len(dsp_columns)} DSP columns of {device.name}"
+        )
+    per_column = d1 * d3
+    if per_column > device.dsps_per_column:
+        raise ResourceError(
+            f"D1*D3={per_column} exceeds the {device.dsps_per_column} DSPs per "
+            f"column of {device.name}"
+        )
+
+    n_tpe = d1 * d2 * d3
+    n_superblocks = d2 * d3
+    n_bram = n_tpe + n_superblocks * BRAMS_PER_PSUMBUF
+    if n_bram > device.n_bram18_total:
+        raise ResourceError(
+            f"overlay needs {n_bram} BRAM18s but {device.name} has "
+            f"{device.n_bram18_total}"
+        )
+    n_clb = n_tpe * CLBS_PER_TPE + d3 * CLBS_PER_CONTROLLER
+    if n_clb > device.n_clb_total:
+        raise ResourceError(
+            f"overlay needs {n_clb} CLBs but {device.name} has {device.n_clb_total}"
+        )
+
+    # The worst DSP<->BRAM pairing across the used columns.  Because pairing
+    # is always to the *nearest* BRAM column, this distance is a per-device
+    # constant, not a function of (d1, d2, d3).
+    used_columns = dsp_columns[:d2]
+    worst_spacing = max(device.dsp_bram_spacing(col) for col in used_columns)
+
+    # Control/ActBUS hop between horizontally adjacent SuperBlocks: signals
+    # are re-registered at every SuperBlock column (paper §III-C), so the
+    # budget per CLK_h cycle is one inter-column hop, not the full row.
+    if d2 > 1:
+        hop_dx = max(
+            abs(used_columns[i + 1].index - used_columns[i].index)
+            for i in range(d2 - 1)
+        )
+    else:
+        hop_dx = device.dsp_bram_spacing(used_columns[0])
+
+    nets = [
+        # Weight read: BRAM (CLK_l domain) to the DSP in the same TPE.
+        Net(
+            name="wbuf_rd",
+            src_kind=PrimitiveKind.BRAM,
+            dst_kind=PrimitiveKind.DSP,
+            dx_columns=worst_spacing,
+            dy_sites=0,
+            clock_domain="l",
+        ),
+        # Activation read: distributed RAM (adjacent CLB column) to DSP.
+        Net(
+            name="actbuf_rd",
+            src_kind=PrimitiveKind.CLB,
+            dst_kind=PrimitiveKind.DSP,
+            dx_columns=1,
+            dy_sites=1,
+        ),
+        # Partial-sum accumulation between vertically adjacent TPEs: the
+        # dedicated DSP cascade, zero general routing.
+        Net(
+            name="dsp_cascade",
+            src_kind=PrimitiveKind.DSP,
+            dst_kind=PrimitiveKind.DSP,
+            dx_columns=0,
+            dy_sites=1,
+            dedicated=True,
+        ),
+        # SuperBlock boundary: last TPE's DSP to the PSumBUF BRAM placed at
+        # the same height in the paired BRAM column.
+        Net(
+            name="psum_wr",
+            src_kind=PrimitiveKind.DSP,
+            dst_kind=PrimitiveKind.BRAM,
+            dx_columns=worst_spacing,
+            dy_sites=2,
+        ),
+        # Controller fanout inside one SuperBlock (d1 TPEs' buffer enables).
+        Net(
+            name="ctrl_local",
+            src_kind=PrimitiveKind.CLB,
+            dst_kind=PrimitiveKind.CLB,
+            dx_columns=1,
+            dy_sites=d1,
+            fanout=d1,
+        ),
+        # Pipelined control/ActBUS hop to the next SuperBlock column.
+        Net(
+            name="row_pipeline_hop",
+            src_kind=PrimitiveKind.CLB,
+            dst_kind=PrimitiveKind.CLB,
+            dx_columns=hop_dx,
+            dy_sites=0,
+        ),
+    ]
+
+    return Placement(
+        device=device,
+        style="ftdl",
+        n_dsp_used=n_tpe,
+        n_bram_used=n_bram,
+        n_clb_used=n_clb,
+        nets=nets,
+        seed=_design_seed(device.name, "ftdl", d1, d2, d3),
+    )
+
+
+def place_systolic(device: Device, rows: int, cols: int) -> Placement:
+    """Place a boundary-fed ``rows x cols`` systolic array on ``device``.
+
+    PEs fill DSP columns bottom-up; activation BRAMs sit in the left-most
+    BRAM column and drive each PE row directly, weight BRAMs sit at the
+    bottom and drive each PE column directly.  Those boundary nets span the
+    whole occupied region, so their length — and the design's critical path —
+    grows with the array (the mismatch FTDL eliminates).
+
+    Raises:
+        ResourceError: if the array exceeds the device's DSPs or BRAMs.
+    """
+    if rows < 1 or cols < 1:
+        raise ResourceError(f"array dimensions must be >= 1, got ({rows},{cols})")
+    n_pe = rows * cols
+    if n_pe > device.n_dsp_total:
+        raise ResourceError(
+            f"{n_pe} PEs exceed the {device.n_dsp_total} DSPs of {device.name}"
+        )
+    n_bram = rows + cols  # boundary feeders
+    if n_bram > device.n_bram18_total:
+        raise ResourceError(
+            f"{n_bram} feeder BRAMs exceed the {device.n_bram18_total} "
+            f"BRAM18s of {device.name}"
+        )
+
+    # Occupied region: PEs packed column-major into DSP columns.
+    dsp_columns = device.dsp_columns
+    per_column = device.dsps_per_column
+    n_columns_used = -(-n_pe // per_column)
+    if n_columns_used > len(dsp_columns):
+        raise ResourceError(
+            f"array needs {n_columns_used} DSP columns but {device.name} "
+            f"has {len(dsp_columns)}"
+        )
+    rightmost = dsp_columns[n_columns_used - 1]
+    leftmost_bram = device.bram_columns[0]
+    span_x = rightmost.index - leftmost_bram.index
+    span_y = min(n_pe, per_column)
+
+    nets = [
+        # Activation feed: boundary BRAM to the farthest PE in its row.
+        Net(
+            name="act_feed_boundary",
+            src_kind=PrimitiveKind.BRAM,
+            dst_kind=PrimitiveKind.DSP,
+            dx_columns=span_x,
+            dy_sites=span_y // 2,
+            clock_domain="h",
+            fanout=max(1, cols // 4),
+        ),
+        # Weight feed: bottom-boundary BRAM up a full occupied column.
+        Net(
+            name="wt_feed_boundary",
+            src_kind=PrimitiveKind.BRAM,
+            dst_kind=PrimitiveKind.DSP,
+            dx_columns=span_x // 2,
+            dy_sites=span_y,
+            clock_domain="h",
+        ),
+        # Neighbour-to-neighbour PE links (these are fine; it is the
+        # boundary feeds that break systolic designs on FPGAs).
+        Net(
+            name="pe_neighbour",
+            src_kind=PrimitiveKind.DSP,
+            dst_kind=PrimitiveKind.DSP,
+            dx_columns=1,
+            dy_sites=1,
+        ),
+    ]
+
+    return Placement(
+        device=device,
+        style="systolic",
+        n_dsp_used=n_pe,
+        n_bram_used=n_bram,
+        n_clb_used=n_pe * CLBS_PER_TPE,
+        nets=nets,
+        seed=_design_seed(device.name, "systolic", rows, cols),
+    )

@@ -1,0 +1,127 @@
+"""FPGA primitive specifications.
+
+The timing numbers are taken from (or calibrated to) the Xilinx switching
+characteristics data sheets the paper cites: DSP and CLB primitives are
+capable of roughly 740 MHz on the fastest speed grades, BRAM of roughly
+528 MHz (DS923 for Virtex-7; the UltraScale DS892 numbers are similar for
+the grades used in the paper's evaluation).
+
+A :class:`PrimitiveSpec` carries the per-primitive timing arcs the
+:mod:`repro.fpga.timing` model needs: clock-to-out, setup, and the maximum
+toggle frequency, plus per-access dynamic energy used by :mod:`repro.power`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PrimitiveKind(enum.Enum):
+    """The three primitive classes a TPE is built from."""
+
+    DSP = "dsp"
+    BRAM = "bram"
+    CLB = "clb"
+
+
+@dataclass(frozen=True)
+class PrimitiveSpec:
+    """Static timing and energy characteristics of one FPGA primitive.
+
+    Attributes:
+        name: Vendor primitive name (e.g. ``DSP48E2``).
+        kind: Primitive class.
+        fmax_mhz: Maximum toggle frequency of the fully pipelined primitive.
+        clk_to_out_ns: Clock-to-output delay of the primitive's registers.
+        setup_ns: Setup time of the primitive's input registers.
+        cascade_delay_ns: Delay of the dedicated cascade interconnect to the
+            next primitive in the same column (0 if the primitive has none).
+        energy_per_op_pj: Dynamic energy per active cycle (pJ), used by the
+            power model.
+    """
+
+    name: str
+    kind: PrimitiveKind
+    fmax_mhz: float
+    clk_to_out_ns: float
+    setup_ns: float
+    cascade_delay_ns: float
+    energy_per_op_pj: float
+
+    def min_period_ns(self) -> float:
+        """Minimum clock period this primitive supports, in ns."""
+        return 1e3 / self.fmax_mhz
+
+
+# Virtex-7, fastest speed grade (-3): the family evaluated in Fig. 6(a).
+# 700 MHz DSP fmax models the -2 grade used for the 7vx330t board builds,
+# which is why Fig. 6(a) plateaus near 620-650 MHz while Fig. 6(b)
+# (UltraScale, 740 MHz grade) plateaus above 650 MHz.
+DSP48E1 = PrimitiveSpec(
+    name="DSP48E1",
+    kind=PrimitiveKind.DSP,
+    fmax_mhz=700.0,
+    clk_to_out_ns=0.39,
+    setup_ns=0.21,
+    cascade_delay_ns=0.25,
+    energy_per_op_pj=20.0,
+)
+
+DSP48E2 = PrimitiveSpec(
+    name="DSP48E2",
+    kind=PrimitiveKind.DSP,
+    fmax_mhz=740.0,
+    clk_to_out_ns=0.35,
+    setup_ns=0.19,
+    cascade_delay_ns=0.22,
+    energy_per_op_pj=18.0,
+)
+
+BRAM18_7SERIES = PrimitiveSpec(
+    name="RAMB18E1",
+    kind=PrimitiveKind.BRAM,
+    fmax_mhz=501.0,
+    clk_to_out_ns=0.68,
+    setup_ns=0.35,
+    cascade_delay_ns=0.0,
+    energy_per_op_pj=25.0,
+)
+
+BRAM18_ULTRASCALE = PrimitiveSpec(
+    name="RAMB18E2",
+    kind=PrimitiveKind.BRAM,
+    fmax_mhz=528.0,
+    clk_to_out_ns=0.62,
+    setup_ns=0.32,
+    cascade_delay_ns=0.0,
+    energy_per_op_pj=23.0,
+)
+
+CLB_7SERIES = PrimitiveSpec(
+    name="CLB-7series",
+    kind=PrimitiveKind.CLB,
+    fmax_mhz=700.0,
+    clk_to_out_ns=0.36,
+    setup_ns=0.10,
+    cascade_delay_ns=0.0,
+    energy_per_op_pj=3.0,
+)
+
+CLB_ULTRASCALE = PrimitiveSpec(
+    name="CLB-ultrascale",
+    kind=PrimitiveKind.CLB,
+    fmax_mhz=740.0,
+    clk_to_out_ns=0.33,
+    setup_ns=0.09,
+    cascade_delay_ns=0.0,
+    energy_per_op_pj=2.8,
+)
+
+#: Capacity of one BRAM18 primitive in 16-bit words (18 Kb, 16 data bits used).
+BRAM18_WORDS = 1024
+
+#: Capacity of the distributed RAM built from the CLBs of one TPE, in words.
+#: The paper quotes 64-256 words for the ActBUF; the TPE default is 128 and
+#: the exact value is an :class:`repro.overlay.OverlayConfig` parameter.
+DISTRAM_WORDS_DEFAULT = 128

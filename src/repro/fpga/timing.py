@@ -1,0 +1,172 @@
+"""Post-place-and-route timing estimation.
+
+Converts the net list of a :class:`repro.fpga.placement.Placement` into net
+delays and a post-P&R fmax, playing the role Vivado's timing report plays in
+the paper's Fig. 6.
+
+Delay model per net::
+
+    delay = clk_to_out(src) + route + fanout_term + setup(dst) + uncertainty
+    route = (route_base + dx * column_pitch + dy * site_pitch)
+            * congestion_detour * jitter
+
+* ``route_base`` models the fixed switchbox-entry cost of general routing.
+* ``congestion_detour`` grows with CLB utilization — nearly full devices
+  route slightly worse.
+* ``jitter`` is a deterministic ±1 % per-net factor seeded by the design
+  identity, standing in for run-to-run P&R variation.
+* Dedicated nets (the DSP accumulation cascade) bypass general routing and
+  pay only the silicon cascade delay — the mechanism that lets FTDL chain
+  TPEs without timing cost.
+
+CLK_l-domain nets (BRAM side of a double-pumped TPE) have a two-cycle
+budget relative to CLK_h, so their fmax contribution is doubled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from math import log2
+
+from repro.fpga.devices import Device
+from repro.fpga.placement import Net, Placement
+from repro.fpga.primitives import PrimitiveKind, PrimitiveSpec
+
+
+#: Clock uncertainty (skew + jitter margin) applied to every path, ns.
+CLOCK_UNCERTAINTY_NS = 0.10
+
+#: Congestion detour factor: route *= 1 + alpha * clb_utilization**2.
+DETOUR_ALPHA = 0.10
+
+#: Magnitude of the deterministic per-net routing jitter (fraction).
+JITTER_FRACTION = 0.01
+
+#: Incremental delay per doubling of net fanout, ns.
+FANOUT_NS = 0.06
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """Timing of one evaluated net."""
+
+    net: Net
+    delay_ns: float
+    #: Max CLK_h (MHz) this path allows, after domain budget scaling.
+    clk_h_limit_mhz: float
+
+
+@dataclass
+class TimingReport:
+    """Timing summary for one placed design.
+
+    Attributes:
+        fmax_mhz: Achievable CLK_h after P&R (MHz).
+        theoretical_fmax_mhz: Datasheet DSP fmax of the device.
+        critical_path: The binding :class:`PathTiming`.
+        paths: All evaluated paths, worst first.
+        limited_by: ``"routing"`` if a placed net binds, else the name of the
+            binding primitive cap (e.g. ``"DSP48E2"``).
+        double_pump: Whether CLK_l-domain nets got the two-cycle budget.
+    """
+
+    fmax_mhz: float
+    theoretical_fmax_mhz: float
+    critical_path: PathTiming
+    paths: list[PathTiming] = field(default_factory=list)
+    limited_by: str = "routing"
+    double_pump: bool = True
+
+    @property
+    def fmax_fraction(self) -> float:
+        """fmax as a fraction of the theoretical DSP fmax (paper's 88 %)."""
+        return self.fmax_mhz / self.theoretical_fmax_mhz
+
+
+class TimingModel:
+    """Net-delay evaluator for placed designs.
+
+    The model is deterministic: the same placement always yields the same
+    report.  Constants are calibrated so the FTDL overlay lands in the
+    620-700 MHz band of Fig. 6 while the boundary-fed systolic baseline
+    degrades below 250 MHz at scale.
+    """
+
+    def __init__(self, device: Device):
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    def _spec(self, kind: PrimitiveKind) -> PrimitiveSpec:
+        return {
+            PrimitiveKind.DSP: self.device.dsp,
+            PrimitiveKind.BRAM: self.device.bram,
+            PrimitiveKind.CLB: self.device.clb,
+        }[kind]
+
+    @staticmethod
+    def _jitter(seed: int, net_name: str) -> float:
+        """Deterministic per-net multiplicative jitter in [1-j, 1+j]."""
+        digest = hashlib.sha256(f"{seed}:{net_name}".encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF  # [0, 1]
+        return 1.0 + JITTER_FRACTION * (2.0 * unit - 1.0)
+
+    def net_delay_ns(self, placement: Placement, net: Net) -> float:
+        """Return the post-route delay of ``net`` within ``placement``."""
+        src = self._spec(net.src_kind)
+        dst = self._spec(net.dst_kind)
+        if net.dedicated:
+            route = src.cascade_delay_ns
+        else:
+            distance = (
+                self.device.route_base_ns
+                + net.dx_columns * self.device.column_pitch_ns
+                + net.dy_sites * self.device.site_pitch_ns
+            )
+            detour = 1.0 + DETOUR_ALPHA * placement.clb_utilization**2
+            route = distance * detour * self._jitter(placement.seed, net.name)
+        fanout_term = FANOUT_NS * log2(net.fanout) if net.fanout > 1 else 0.0
+        return (
+            src.clk_to_out_ns + route + fanout_term + dst.setup_ns
+            + CLOCK_UNCERTAINTY_NS
+        )
+
+    def report(self, placement: Placement, double_pump: bool = True) -> TimingReport:
+        """Evaluate every net and return the achievable CLK_h.
+
+        Args:
+            placement: A placed design from :mod:`repro.fpga.placement`.
+            double_pump: Give CLK_l-domain nets a two-cycle budget (the FTDL
+                scheme).  With False, every net is held to one CLK_h period.
+        """
+        paths: list[PathTiming] = []
+        for net in placement.nets:
+            delay = self.net_delay_ns(placement, net)
+            budget_factor = 2.0 if (double_pump and net.clock_domain == "l") else 1.0
+            limit = budget_factor * 1e3 / delay
+            paths.append(PathTiming(net=net, delay_ns=delay, clk_h_limit_mhz=limit))
+        paths.sort(key=lambda p: p.clk_h_limit_mhz)
+
+        # Primitive frequency caps.
+        caps: list[tuple[float, str]] = [
+            (self.device.dsp.fmax_mhz, self.device.dsp.name),
+            (self.device.clb.fmax_mhz, self.device.clb.name),
+        ]
+        bram_budget = 2.0 if double_pump else 1.0
+        caps.append((bram_budget * self.device.bram.fmax_mhz, self.device.bram.name))
+
+        routing_limit = paths[0].clk_h_limit_mhz
+        cap_limit, cap_name = min(caps, key=lambda c: c[0])
+        if routing_limit <= cap_limit:
+            fmax, limited_by = routing_limit, "routing"
+        else:
+            fmax, limited_by = cap_limit, cap_name
+
+        return TimingReport(
+            fmax_mhz=fmax,
+            theoretical_fmax_mhz=self.device.dsp.fmax_mhz,
+            critical_path=paths[0],
+            paths=paths,
+            limited_by=limited_by,
+            double_pump=double_pump,
+        )

@@ -1,0 +1,53 @@
+"""Bus occupancy models for ActBUS, PSumBUS, and InstBUS.
+
+A :class:`BusModel` is a serialized transfer resource: requests queue in
+arrival order at a fixed words-per-cycle rate.  The cycle simulator uses
+one instance per physical bus (one ActBUS per row, one PSumBUS per
+SuperBlock column) to account for contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.units import ceil_div
+
+
+@dataclass
+class BusModel:
+    """One serialized bus.
+
+    Attributes:
+        name: Identifier for reports (e.g. ``"actbus.row3"``).
+        words_per_cycle: Transfer rate.
+        next_free: First cycle at which the bus can accept a new transfer.
+        busy_cycles: Total cycles spent transferring.
+        words_moved: Total words transferred.
+    """
+
+    name: str
+    words_per_cycle: float
+    next_free: int = 0
+    busy_cycles: int = 0
+    words_moved: int = 0
+
+    def transfer(self, start_cycle: int, words: int) -> int:
+        """Occupy the bus for ``words`` starting no earlier than
+        ``start_cycle``; returns the completion cycle."""
+        if words < 0:
+            raise SimulationError(f"negative transfer of {words} words on {self.name}")
+        if self.words_per_cycle <= 0:
+            raise SimulationError(f"bus {self.name} has no bandwidth")
+        begin = max(start_cycle, self.next_free)
+        duration = int(-(-words // self.words_per_cycle)) if words else 0
+        self.next_free = begin + duration
+        self.busy_cycles += duration
+        self.words_moved += words
+        return self.next_free
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the bus spent transferring."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)

@@ -1,0 +1,143 @@
+"""Overlay configuration: dimensions, buffer sizes, and derived quantities.
+
+An :class:`OverlayConfig` is the hardware half of every scheduling problem
+(paper §III-D): the grid shape ``(D1, D2, D3)``, the per-buffer capacities,
+the bus widths, and the off-chip bandwidth.  The compiler searches mapping
+vectors *for* a config; :func:`repro.overlay.resources.resource_report`
+checks a config *against* a device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ResourceError
+from repro.fpga.primitives import BRAM18_WORDS
+from repro.units import OPS_PER_MACC, gbps_to_words_per_cycle
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """One fully parameterized FTDL overlay instance.
+
+    Attributes:
+        d1: TPEs per SuperBlock (cascade-chain length).
+        d2: SuperBlock columns (SIMD width of one row).
+        d3: SuperBlock rows (independent controllers).
+        s_actbuf_words: Activation buffer per TPE, in 16-bit words.  Built
+            from CLB distributed RAM; the paper quotes 64-256 words.  The
+            capacity covers both double-buffer halves.
+        s_wbuf_words: Weight buffer per TPE, in words (one BRAM18 = 1024).
+        s_psumbuf_words: Partial-sum buffer per SuperBlock, in words
+            (1024-4096 in the paper); covers both double-buffer halves.
+        actbus_words_per_cycle: Bandwidth of one row's ActBUS in words per
+            CLK_h cycle.  ``None`` (default) means one word per TPE of a
+            SuperBlock — a ``16 * D1``-bit pipelined row bus, which makes
+            the per-round cost equal the paper's ``f_act(TT)`` (Eqn 8)
+            whenever the D1 TPEs hold disjoint reduction slices.
+        psumbus_words_per_cycle: Bandwidth of one column's PSumBUS, in words
+            per CLK_h cycle (shared by the D3 rows of that column); the
+            default models a 64-bit streaming bus.
+        dram_rd_gbps: Off-chip read bandwidth, GB/s.
+        dram_wr_gbps: Off-chip write bandwidth, GB/s.
+        clk_h_mhz: DSP clock (MHz); the paper's example runs at 650.
+        double_pump: Whether BRAM runs at CLK_h / 2 with two-cycle weight
+            reuse (the FTDL scheme).
+        double_buffer: Whether ActBUF/PSumBUF overlap communication with
+            computation (§III-E).  Disabled only for the ablation study.
+        weights_resident: Whether the workload's weights are preloaded into
+            WBUF at initialization (§III-A1's weight-stationary scheme) and
+            never stream from DRAM at run time.  True models the paper's
+            single-layer/multi-FPGA setting where the model fits on chip;
+            the default False streams each layer's weights, which is what a
+            full network on one device requires.
+    """
+
+    d1: int
+    d2: int
+    d3: int
+    s_actbuf_words: int = 128
+    s_wbuf_words: int = BRAM18_WORDS
+    s_psumbuf_words: int = 2048
+    actbus_words_per_cycle: float | None = None
+    psumbus_words_per_cycle: float = 4.0
+    dram_rd_gbps: float = 26.0
+    dram_wr_gbps: float = 26.0
+    clk_h_mhz: float = 650.0
+    double_pump: bool = True
+    double_buffer: bool = True
+    weights_resident: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.d1, self.d2, self.d3) < 1:
+            raise ResourceError(
+                f"overlay dimensions must be >= 1, got "
+                f"({self.d1}, {self.d2}, {self.d3})"
+            )
+        for name in ("s_actbuf_words", "s_wbuf_words", "s_psumbuf_words"):
+            if getattr(self, name) < 2:
+                raise ResourceError(f"{name} must be >= 2, got {getattr(self, name)}")
+        if self.clk_h_mhz <= 0:
+            raise ResourceError(f"clk_h_mhz must be positive, got {self.clk_h_mhz}")
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def n_tpe(self) -> int:
+        """Total TPEs (== DSPs == MACCs per cycle at full utilization)."""
+        return self.d1 * self.d2 * self.d3
+
+    @property
+    def n_superblocks(self) -> int:
+        return self.d2 * self.d3
+
+    @property
+    def pipeline_latency(self) -> int:
+        """TPE-chain fill latency inside a SuperBlock (paper: Lat = D1 + 6)."""
+        return self.d1 + 6
+
+    @property
+    def peak_gops(self) -> float:
+        """Theoretical throughput at clk_h, in GOPS (2 ops per MACC)."""
+        return OPS_PER_MACC * self.n_tpe * self.clk_h_mhz * 1e-3
+
+    @property
+    def actbuf_usable_words(self) -> int:
+        """Words available to one schedule tile in the ActBUF.
+
+        With double-buffering only half the physical buffer holds the live
+        tile; without it the whole buffer is available.
+        """
+        return self.s_actbuf_words // 2 if self.double_buffer else self.s_actbuf_words
+
+    @property
+    def psumbuf_usable_words(self) -> int:
+        """Words available to one schedule tile in the PSumBUF."""
+        if self.double_buffer:
+            return self.s_psumbuf_words // 2
+        return self.s_psumbuf_words
+
+    @property
+    def actbus_wpc(self) -> float:
+        """Effective ActBUS bandwidth (words per CLK_h cycle per row)."""
+        if self.actbus_words_per_cycle is not None:
+            return self.actbus_words_per_cycle
+        return float(self.d1)
+
+    def dram_rd_words_per_cycle(self) -> float:
+        """Off-chip read bandwidth in words per CLK_h cycle."""
+        return gbps_to_words_per_cycle(self.dram_rd_gbps, self.clk_h_mhz)
+
+    def dram_wr_words_per_cycle(self) -> float:
+        """Off-chip write bandwidth in words per CLK_h cycle."""
+        return gbps_to_words_per_cycle(self.dram_wr_gbps, self.clk_h_mhz)
+
+    def with_grid(self, d1: int, d2: int, d3: int) -> "OverlayConfig":
+        """Return a copy with a different grid shape (used by Objective 3)."""
+        return replace(self, d1=d1, d2=d2, d3=d3)
+
+
+#: The example configuration of the paper's §V-C evaluation: 1200 TPEs on
+#: the UltraScale vu125 at 650 MHz with 26 GB/s of DRAM bandwidth.
+PAPER_EXAMPLE_CONFIG = OverlayConfig(d1=12, d2=5, d3=20)

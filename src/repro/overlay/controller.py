@@ -1,0 +1,65 @@
+"""SuperBlock-row controller: instruction decode and control-flow expansion.
+
+The controller turns one COMPUTE instruction into the periodic
+double-buffered control flow of List 1: a stream of phase events the cycle
+simulator consumes.  Phases per LoopX iteration: a PSumBUF update, then L
+iterations of (ActBUF update, T MACC cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.overlay.isa import Instruction, OpKind
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One control-flow phase of List 1.
+
+    Attributes:
+        kind: ``"psum_update"``, ``"act_update"`` or ``"compute"``.
+        x: LoopX index.
+        l: LoopL index (0 for psum_update phases).
+        words: Transfer size for update phases (0 for compute).
+        cycles: Duration in CLK_h cycles for compute phases (0 for updates,
+            whose duration the buses decide).
+    """
+
+    kind: str
+    x: int
+    l: int
+    words: int
+    cycles: int
+
+
+class Controller:
+    """Decoder/expander for one SuperBlock row."""
+
+    def __init__(self, instruction: Instruction):
+        instruction.validate()
+        self.instruction = instruction
+
+    def phases(self) -> Iterator[Phase]:
+        """Yield the List-1 phase stream of a COMPUTE instruction.
+
+        Raises:
+            SimulationError: for non-COMPUTE opcodes (LOAD_WEIGHT and
+                WRITE_BACK are single transfers, expanded by the caller).
+        """
+        inst = self.instruction
+        if inst.op != OpKind.COMPUTE:
+            raise SimulationError(
+                f"controller expands COMPUTE instructions, got {inst.op.name}"
+            )
+        for x in range(inst.x):
+            yield Phase(
+                kind="psum_update", x=x, l=0, words=inst.psum_tile_words, cycles=0
+            )
+            for l in range(inst.l):
+                yield Phase(
+                    kind="act_update", x=x, l=l, words=inst.act_tile_words, cycles=0
+                )
+                yield Phase(kind="compute", x=x, l=l, words=0, cycles=inst.t)

@@ -1,0 +1,148 @@
+"""Controller instruction set of the FTDL overlay.
+
+Each SuperBlock-row controller is configured over the InstBUS with one
+instruction per layer pass (paper §III-B).  An instruction carries the
+three temporal trip counts of List 1 (``X``, ``L``, ``T``), the buffer tile
+geometry, and control flags; the controller expands it into the periodic
+double-buffered control flow.
+
+Instructions encode to exactly 16 bytes (128 bits) so an instruction stream
+can be preloaded through a 128-bit InstBUS word per layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+
+class OpKind(enum.IntEnum):
+    """Instruction opcodes understood by the SuperBlock controller."""
+
+    NOP = 0
+    #: Execute the X/L/T loop nest of MACC operations (List 1).
+    COMPUTE = 1
+    #: Stream weights from DRAM into the WBUFs (FPGA initialization phase).
+    LOAD_WEIGHT = 2
+    #: Drain PSumBUF to the PSumBUS without computing (multi-pass flush).
+    WRITE_BACK = 3
+
+
+#: Flag bits in :attr:`Instruction.flags`.
+FLAG_DOUBLE_BUFFER = 1 << 0
+#: Results of this pass are partial and will be re-accumulated (multi-pass
+#: or multi-SuperBlock reduction finished by a host EWOP).
+FLAG_EWOP_ACCUMULATE = 1 << 1
+#: Last instruction of the stream.
+FLAG_LAST = 1 << 2
+
+_FIELDS = (
+    # (name, bit width)
+    ("op", 4),
+    ("x", 20),
+    ("l", 20),
+    ("t", 20),
+    ("act_tile_words", 14),
+    ("psum_tile_words", 14),
+    ("wbuf_base", 12),
+    ("psum_base", 12),
+    ("flags", 8),
+)
+_TOTAL_BITS = sum(width for _, width in _FIELDS)
+assert _TOTAL_BITS <= 128
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded controller instruction.
+
+    Attributes:
+        op: Opcode.
+        x: Trip count of LoopX (PSumBUF update period, List 1).
+        l: Trip count of LoopL (ActBUF update period).
+        t: Trip count of LoopT (one MACC per CLK_h cycle).
+        act_tile_words: Words written into the ActBUF each LoopL iteration.
+        psum_tile_words: Words exchanged with the PSumBUS each LoopX
+            iteration per SuperBlock.
+        wbuf_base: Starting word address of this layer's weights in WBUF.
+        psum_base: Starting word address of the live tile in PSumBUF.
+        flags: Bitwise OR of the ``FLAG_*`` constants.
+    """
+
+    op: OpKind
+    x: int = 1
+    l: int = 1
+    t: int = 1
+    act_tile_words: int = 0
+    psum_tile_words: int = 0
+    wbuf_base: int = 0
+    psum_base: int = 0
+    flags: int = FLAG_DOUBLE_BUFFER
+
+    @property
+    def double_buffer(self) -> bool:
+        return bool(self.flags & FLAG_DOUBLE_BUFFER)
+
+    @property
+    def ewop_accumulate(self) -> bool:
+        return bool(self.flags & FLAG_EWOP_ACCUMULATE)
+
+    @property
+    def last(self) -> bool:
+        return bool(self.flags & FLAG_LAST)
+
+    @property
+    def total_macc_cycles(self) -> int:
+        """MACC cycles issued by this instruction (X * L * T)."""
+        return self.x * self.l * self.t
+
+    def validate(self) -> None:
+        """Raise :class:`IsaError` if any field overflows its encoding."""
+        for name, width in _FIELDS:
+            value = int(getattr(self, name))
+            if value < 0 or value >= (1 << width):
+                raise IsaError(
+                    f"field {name}={value} does not fit in {width} bits"
+                )
+        if self.op == OpKind.COMPUTE and min(self.x, self.l, self.t) < 1:
+            raise IsaError(
+                f"COMPUTE requires positive trip counts, got "
+                f"({self.x}, {self.l}, {self.t})"
+            )
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Pack ``inst`` into its 16-byte InstBUS representation."""
+    inst.validate()
+    word = 0
+    shift = 0
+    for name, width in _FIELDS:
+        word |= int(getattr(inst, name)) << shift
+        shift += width
+    return word.to_bytes(16, "little")
+
+
+def decode_instruction(raw: bytes) -> Instruction:
+    """Unpack a 16-byte InstBUS word back into an :class:`Instruction`.
+
+    Raises:
+        IsaError: if ``raw`` is not exactly 16 bytes or the opcode is
+            unknown.
+    """
+    if len(raw) != 16:
+        raise IsaError(f"instruction must be 16 bytes, got {len(raw)}")
+    word = int.from_bytes(raw, "little")
+    values: dict[str, int] = {}
+    shift = 0
+    for name, width in _FIELDS:
+        values[name] = (word >> shift) & ((1 << width) - 1)
+        shift += width
+    if (word >> shift) != 0:
+        raise IsaError("instruction has non-zero padding bits")
+    try:
+        values["op"] = OpKind(values["op"])
+    except ValueError:
+        raise IsaError(f"unknown opcode {values['op']}") from None
+    return Instruction(**values)

@@ -1,0 +1,68 @@
+"""Resource accounting of an overlay configuration against a device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+from repro.fpga.devices import Device
+from repro.fpga.placement import (
+    BRAMS_PER_PSUMBUF,
+    CLBS_PER_CONTROLLER,
+    CLBS_PER_TPE,
+    place_overlay,
+)
+from repro.overlay.config import OverlayConfig
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Primitive usage of one overlay configuration on one device."""
+
+    device: str
+    n_dsp: int
+    n_bram18: int
+    n_clb: int
+    dsp_utilization: float
+    bram_utilization: float
+    clb_utilization: float
+    fits: bool
+
+    def describe(self) -> str:
+        status = "fits" if self.fits else "DOES NOT FIT"
+        return (
+            f"{self.device}: DSP {self.n_dsp} ({self.dsp_utilization:.0%}), "
+            f"BRAM18 {self.n_bram18} ({self.bram_utilization:.0%}), "
+            f"CLB {self.n_clb} ({self.clb_utilization:.0%}) - {status}"
+        )
+
+
+def resource_report(config: OverlayConfig, device: Device) -> ResourceReport:
+    """Account ``config``'s primitive usage on ``device``.
+
+    Uses the same per-element costs as the placer; a config that does not
+    fit is still reported (``fits=False``) rather than raising, so sweeps
+    can chart the failure boundary.
+    """
+    n_tpe = config.n_tpe
+    n_superblocks = config.n_superblocks
+    n_dsp = n_tpe
+    n_bram = n_tpe + n_superblocks * BRAMS_PER_PSUMBUF
+    n_clb = n_tpe * CLBS_PER_TPE + config.d3 * CLBS_PER_CONTROLLER
+
+    fits = True
+    try:
+        place_overlay(device, config.d1, config.d2, config.d3)
+    except ResourceError:
+        fits = False
+
+    return ResourceReport(
+        device=device.name,
+        n_dsp=n_dsp,
+        n_bram18=n_bram,
+        n_clb=n_clb,
+        dsp_utilization=n_dsp / device.n_dsp_total,
+        bram_utilization=n_bram / device.n_bram18_total,
+        clb_utilization=n_clb / device.n_clb_total,
+        fits=fits,
+    )

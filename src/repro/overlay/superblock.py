@@ -1,0 +1,106 @@
+"""Functional model of a SuperBlock (paper §III-B).
+
+A SuperBlock chains ``D1`` TPEs on the DSP cascade — one MACC per TPE per
+cycle, partial sums flowing down the chain — and owns a double-buffered
+partial-sum buffer (PSumBUF) fed by the chain's tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.overlay.tpe import TPE
+from repro.fixedpoint import wrap48
+
+
+class SuperBlock:
+    """``d1`` cascaded TPEs plus a PSumBUF.
+
+    Args:
+        d1: Chain length.
+        s_wbuf_words: Per-TPE weight buffer capacity.
+        s_actbuf_words: Per-TPE activation buffer capacity.
+        s_psumbuf_words: Total PSumBUF capacity (split into double-buffer
+            halves when ``double_buffer`` is set).
+        double_buffer: Whether buffer updates overlap compute (§III-E).
+    """
+
+    def __init__(
+        self,
+        d1: int,
+        s_wbuf_words: int,
+        s_actbuf_words: int,
+        s_psumbuf_words: int,
+        double_buffer: bool = True,
+    ):
+        if d1 < 1:
+            raise SimulationError(f"SuperBlock needs >= 1 TPE, got {d1}")
+        self.tpes = [
+            TPE(s_wbuf_words, s_actbuf_words, double_buffer)
+            for _ in range(d1)
+        ]
+        self.s_psumbuf_words = s_psumbuf_words
+        self.double_buffer = double_buffer
+        half = s_psumbuf_words // 2 if double_buffer else s_psumbuf_words
+        self._psum_halves = [
+            np.zeros(half, dtype=np.int64),
+            np.zeros(half, dtype=np.int64),
+        ]
+        self._compute_half = 0
+
+    @property
+    def d1(self) -> int:
+        return len(self.tpes)
+
+    @property
+    def psum_half_words(self) -> int:
+        return len(self._psum_halves[0])
+
+    # ------------------------------------------------------------------ #
+    def cascade_macc(self, w_addrs: list[int], act_addrs: list[int]) -> int:
+        """One cascade pass: every TPE contributes one MACC.
+
+        ``w_addrs[i]`` / ``act_addrs[i]`` address TPE ``i``'s buffers; the
+        result is the 48-bit-wrapped sum of all products, exactly what the
+        DSP cascade delivers at the chain tail after ``d1`` stages.
+        """
+        if len(w_addrs) != self.d1 or len(act_addrs) != self.d1:
+            raise SimulationError(
+                f"cascade needs {self.d1} address pairs, got "
+                f"{len(w_addrs)}/{len(act_addrs)}"
+            )
+        acc = 0
+        for tpe, w_addr, act_addr in zip(self.tpes, w_addrs, act_addrs):
+            acc = tpe.macc(w_addr, act_addr, cascade_in=acc)
+        return acc
+
+    # ------------------------------------------------------------------ #
+    def accumulate_psum(self, addr: int, value: int) -> None:
+        """Add ``value`` into the live PSumBUF half at ``addr`` (wrapping)."""
+        half = self._psum_halves[self._compute_half]
+        if not 0 <= addr < len(half):
+            raise SimulationError(f"PSumBUF address {addr} out of range")
+        half[addr] = wrap48(int(half[addr]) + value)
+
+    def read_psums(self, n_words: int) -> np.ndarray:
+        """Read the first ``n_words`` of the live half (PSumBUS drain)."""
+        half = self._psum_halves[self._compute_half]
+        if n_words > len(half):
+            raise SimulationError(
+                f"PSumBUF drain of {n_words} exceeds half of {len(half)}"
+            )
+        return half[:n_words].copy()
+
+    def clear_psums(self) -> None:
+        """Zero the live half (start of a fresh accumulation tile)."""
+        self._psum_halves[self._compute_half][:] = 0
+
+    def swap_psumbuf(self) -> None:
+        """Exchange compute/communication halves of the PSumBUF."""
+        self._compute_half = 1 - self._compute_half
+
+    def swap_actbufs(self) -> None:
+        """Swap every TPE's ActBUF halves (end of a LoopL iteration)."""
+        for tpe in self.tpes:
+            tpe.swap_actbuf()

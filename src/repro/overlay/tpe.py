@@ -1,0 +1,108 @@
+"""Functional model of one tiled processing element (paper §III-A).
+
+A TPE couples one DSP (16-bit MACC), one BRAM18 (weight buffer), and CLB
+distributed RAM (double-buffered activation buffer).  The model is bit-true
+for the datapath: 16-bit two's-complement operands, exact 32-bit products,
+and a 48-bit wrapping accumulator chain like the DSP48 cascade.
+
+The cycle-level behaviour (when buffers swap, how the cascade fills) lives
+in :mod:`repro.sim.cycle`; this class only owns state and single operations
+so it can also be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.fixedpoint import to_int16, wrap48
+
+
+class TPE:
+    """State and datapath of a single TPE.
+
+    Args:
+        s_wbuf_words: Weight buffer capacity (one BRAM18 = 1024 words).
+        s_actbuf_words: Total activation buffer capacity; split into two
+            double-buffer halves when ``double_buffer`` is set, otherwise
+            used as a single full-capacity buffer.
+        double_buffer: Whether loads overlap compute (§III-E).
+    """
+
+    def __init__(
+        self,
+        s_wbuf_words: int,
+        s_actbuf_words: int,
+        double_buffer: bool = True,
+    ):
+        if s_wbuf_words < 1 or s_actbuf_words < 2:
+            raise SimulationError(
+                f"invalid buffer sizes wbuf={s_wbuf_words} actbuf={s_actbuf_words}"
+            )
+        self.s_wbuf_words = s_wbuf_words
+        self.s_actbuf_words = s_actbuf_words
+        self.double_buffer = double_buffer
+        self.wbuf = np.zeros(s_wbuf_words, dtype=np.int16)
+        half = s_actbuf_words // 2 if double_buffer else s_actbuf_words
+        self._act_halves = [
+            np.zeros(half, dtype=np.int16),
+            np.zeros(half, dtype=np.int16),
+        ]
+        self._compute_half = 0
+
+    # ------------------------------------------------------------------ #
+    # buffers
+    # ------------------------------------------------------------------ #
+    @property
+    def actbuf_half_words(self) -> int:
+        """Capacity of one tile-holding region of the ActBUF."""
+        return len(self._act_halves[0])
+
+    def load_weights(self, base: int, values: np.ndarray) -> None:
+        """Preload ``values`` into WBUF starting at word ``base``."""
+        end = base + len(values)
+        if base < 0 or end > self.s_wbuf_words:
+            raise SimulationError(
+                f"weight load [{base}:{end}) overflows WBUF of {self.s_wbuf_words}"
+            )
+        self.wbuf[base:end] = to_int16(values)
+
+    def load_activations(self, values: np.ndarray) -> None:
+        """Fill the *shadow* half of the ActBUF (the communication side)."""
+        shadow = self._act_halves[1 - self._compute_half]
+        if len(values) > len(shadow):
+            raise SimulationError(
+                f"activation tile of {len(values)} words overflows ActBUF "
+                f"half of {len(shadow)}"
+            )
+        shadow[: len(values)] = to_int16(values)
+        shadow[len(values):] = 0
+
+    def swap_actbuf(self) -> None:
+        """Exchange compute/communication roles of the two ActBUF halves."""
+        self._compute_half = 1 - self._compute_half
+
+    # ------------------------------------------------------------------ #
+    # datapath
+    # ------------------------------------------------------------------ #
+    def read_weight(self, addr: int) -> int:
+        """Read one weight word (BRAM port, CLK_l domain)."""
+        if not 0 <= addr < self.s_wbuf_words:
+            raise SimulationError(f"WBUF address {addr} out of range")
+        return int(self.wbuf[addr])
+
+    def read_activation(self, addr: int) -> int:
+        """Read one activation word from the compute half (CLK_h domain)."""
+        half = self._act_halves[self._compute_half]
+        if not 0 <= addr < len(half):
+            raise SimulationError(f"ActBUF address {addr} out of range")
+        return int(half[addr])
+
+    def macc(self, w_addr: int, act_addr: int, cascade_in: int = 0) -> int:
+        """One MACC: ``cascade_in + weight * activation`` wrapped to 48 bits.
+
+        ``cascade_in`` is the accumulation arriving on the DSP cascade from
+        the previous TPE in the SuperBlock chain.
+        """
+        product = self.read_weight(w_addr) * self.read_activation(act_addr)
+        return wrap48(cascade_in + product)

@@ -1,0 +1,5 @@
+"""FPGA power model: component-level dynamic + static power."""
+
+from repro.power.model import PowerReport, estimate_overlay_power
+
+__all__ = ["PowerReport", "estimate_overlay_power"]

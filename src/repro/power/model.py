@@ -1,0 +1,96 @@
+"""Component-level power model of a running overlay.
+
+Power = dynamic (per-primitive energy x clock x activity) + clock tree +
+static leakage + DRAM interface.  Activity factors are calibrated so the
+paper's example configuration (1200 TPEs, 650 MHz, ~81 % efficiency on
+GoogLeNet) lands near its reported 45.8 W / 27.6 GOPS/W; the *relative*
+behaviour (power tracking frequency, utilization, and design size) is what
+the model is used for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.power import DramPowerReport
+from repro.errors import FTDLError
+from repro.fpga.devices import Device
+from repro.fpga.placement import BRAMS_PER_PSUMBUF, CLBS_PER_CONTROLLER, CLBS_PER_TPE
+from repro.overlay.config import OverlayConfig
+
+#: Fraction of CLB primitives toggling in a typical cycle.
+CLB_ACTIVITY = 0.15
+#: BRAM port activity under the double-pump fetch pattern.
+BRAM_ACTIVITY = 0.9
+#: Clock-tree power per TPE at 650 MHz (W), scaled linearly with CLK_h.
+CLOCK_W_PER_TPE_650 = 0.004
+#: Static leakage: per-DSP share of the powered die plus a fixed base.
+STATIC_W_PER_DSP = 0.003
+STATIC_BASE_W = 2.0
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power breakdown of one overlay execution."""
+
+    dsp_w: float
+    bram_w: float
+    clb_w: float
+    clock_w: float
+    static_w: float
+    dram_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (
+            self.dsp_w + self.bram_w + self.clb_w
+            + self.clock_w + self.static_w + self.dram_w
+        )
+
+    def gops_per_watt(self, attained_gops: float) -> float:
+        """Power efficiency for a given attained throughput."""
+        if self.total_w <= 0:
+            return 0.0
+        return attained_gops / self.total_w
+
+
+def estimate_overlay_power(
+    config: OverlayConfig,
+    device: Device,
+    utilization: float,
+    dram_report: DramPowerReport | None = None,
+) -> PowerReport:
+    """Estimate the power of ``config`` running on ``device``.
+
+    Args:
+        config: Overlay configuration (clocks, grid shape).
+        device: Target device (primitive energies, size).
+        utilization: MACC-slot utilization, i.e. the hardware efficiency —
+            idle DSPs are clock-gated and contribute no dynamic power.
+        dram_report: Optional DRAM power from :mod:`repro.dram.power`; its
+            average power is added when provided.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise FTDLError(f"utilization must be in [0, 1], got {utilization}")
+    f_h = config.clk_h_mhz * 1e6
+    f_l = f_h / 2 if config.double_pump else f_h
+
+    n_tpe = config.n_tpe
+    n_bram = n_tpe + config.n_superblocks * BRAMS_PER_PSUMBUF
+    n_clb = n_tpe * CLBS_PER_TPE + config.d3 * CLBS_PER_CONTROLLER
+
+    dsp_w = n_tpe * device.dsp.energy_per_op_pj * 1e-12 * f_h * utilization
+    bram_w = n_bram * device.bram.energy_per_op_pj * 1e-12 * f_l * BRAM_ACTIVITY
+    clb_w = n_clb * device.clb.energy_per_op_pj * 1e-12 * f_h * CLB_ACTIVITY
+    clock_w = n_tpe * CLOCK_W_PER_TPE_650 * (config.clk_h_mhz / 650.0)
+    static_w = STATIC_BASE_W + device.n_dsp_total * STATIC_W_PER_DSP
+    dram_w = dram_report.average_power_w if dram_report is not None else 0.0
+
+    return PowerReport(
+        dsp_w=dsp_w,
+        bram_w=bram_w,
+        clb_w=clb_w,
+        clock_w=clock_w,
+        static_w=static_w,
+        dram_w=dram_w,
+    )

@@ -1,0 +1,162 @@
+"""Bit-true reference (golden) implementations of the accelerated layers.
+
+These are the oracles the cycle simulator is checked against: 16-bit
+operands, exact integer products, 48-bit wrapping accumulation — the same
+arithmetic a DSP48 cascade performs.  They are written for clarity and
+small test shapes, not speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.fixedpoint import to_int16, wrap48
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+def matmul_int16(weights: np.ndarray, acts: np.ndarray) -> np.ndarray:
+    """Golden MM: ``out[N, P] = W[N, M] @ act[M, P]`` with 48-bit wrap.
+
+    Args:
+        weights: int16 array of shape (N, M).
+        acts: int16 array of shape (M, P).
+
+    Returns:
+        int64 array of shape (N, P) holding the wrapped accumulators.
+    """
+    weights = np.asarray(weights)
+    acts = np.asarray(acts)
+    if weights.ndim != 2 or acts.ndim != 2:
+        raise SimulationError("matmul operands must be 2-D")
+    if weights.shape[1] != acts.shape[0]:
+        raise SimulationError(
+            f"shape mismatch: W{weights.shape} @ act{acts.shape}"
+        )
+    out = weights.astype(np.int64) @ acts.astype(np.int64)
+    return wrap48(out)
+
+
+def conv2d_int16(
+    weights: np.ndarray,
+    acts: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Golden CONV: NCHW direct convolution with 48-bit wrap.
+
+    Args:
+        weights: int16 array of shape (M, N/groups, R, S).
+        acts: int16 array of shape (N, IH, IW).
+        stride: Spatial stride.
+        padding: Zero padding on each side.
+        groups: Channel groups (depthwise when groups == N == M).
+
+    Returns:
+        int64 array of shape (M, OH, OW).
+    """
+    weights = np.asarray(weights)
+    acts = np.asarray(acts)
+    if weights.ndim != 4 or acts.ndim != 3:
+        raise SimulationError("conv expects W(M,N/g,R,S) and act(N,IH,IW)")
+    if groups > 1:
+        m, n_g, _, _ = weights.shape
+        n_a = acts.shape[0]
+        if m % groups or n_a % groups or n_g != n_a // groups:
+            raise SimulationError(
+                f"group mismatch: W{weights.shape}, act{acts.shape}, "
+                f"groups={groups}"
+            )
+        m_g = m // groups
+        slices = [
+            conv2d_int16(
+                weights[g * m_g:(g + 1) * m_g],
+                acts[g * n_g:(g + 1) * n_g],
+                stride=stride, padding=padding,
+            )
+            for g in range(groups)
+        ]
+        return np.concatenate(slices, axis=0)
+    m, n, r, s = weights.shape
+    n_a, ih, iw = acts.shape
+    if n != n_a:
+        raise SimulationError(f"channel mismatch: weights {n} vs acts {n_a}")
+    padded = np.zeros((n, ih + 2 * padding, iw + 2 * padding), dtype=np.int64)
+    padded[:, padding:padding + ih, padding:padding + iw] = acts.astype(np.int64)
+    oh = (ih + 2 * padding - r) // stride + 1
+    ow = (iw + 2 * padding - s) // stride + 1
+    if oh < 1 or ow < 1:
+        raise SimulationError("convolution output is empty")
+    out = np.zeros((m, oh, ow), dtype=np.int64)
+    w64 = weights.astype(np.int64)
+    for dr in range(r):
+        for ds in range(s):
+            window = padded[
+                :,
+                dr:dr + stride * oh:stride,
+                ds:ds + stride * ow:stride,
+            ]
+            # (M, N) x (N, OH, OW) -> (M, OH, OW), accumulated exactly.
+            out += np.tensordot(w64[:, :, dr, ds], window, axes=([1], [0]))
+    return wrap48(out)
+
+
+def golden_layer_output(
+    layer: ConvLayer | MatMulLayer,
+    weights: np.ndarray,
+    acts: np.ndarray,
+) -> np.ndarray:
+    """Dispatch to the golden model matching ``layer``'s kind and shape."""
+    weights = to_int16(weights)
+    acts = to_int16(acts)
+    if isinstance(layer, ConvLayer):
+        expected_w = (
+            layer.out_channels, layer.group_in_channels,
+            layer.kernel_h, layer.kernel_w,
+        )
+        expected_a = (layer.in_channels, layer.in_h, layer.in_w)
+        if weights.shape != expected_w or acts.shape != expected_a:
+            raise SimulationError(
+                f"layer {layer.name!r} expects W{expected_w}/act{expected_a}, "
+                f"got W{weights.shape}/act{acts.shape}"
+            )
+        return conv2d_int16(
+            weights, acts, layer.stride, layer.padding, layer.groups
+        )
+    if isinstance(layer, MatMulLayer):
+        expected_w = (layer.out_features, layer.in_features)
+        expected_a = (layer.in_features, layer.batch)
+        if weights.shape != expected_w or acts.shape != expected_a:
+            raise SimulationError(
+                f"layer {layer.name!r} expects W{expected_w}/act{expected_a}, "
+                f"got W{weights.shape}/act{acts.shape}"
+            )
+        return matmul_int16(weights, acts)
+    raise SimulationError(f"no golden model for layer kind {layer.kind}")
+
+
+def random_layer_operands(
+    layer: ConvLayer | MatMulLayer,
+    rng: np.random.Generator,
+    magnitude: int = 127,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw random int16 weights and activations shaped for ``layer``.
+
+    ``magnitude`` bounds the operand range so small test layers stay far
+    from accumulator wrap unless a test asks otherwise.
+    """
+    if isinstance(layer, ConvLayer):
+        w_shape = (
+            layer.out_channels, layer.group_in_channels,
+            layer.kernel_h, layer.kernel_w,
+        )
+        a_shape = (layer.in_channels, layer.in_h, layer.in_w)
+    elif isinstance(layer, MatMulLayer):
+        w_shape = (layer.out_features, layer.in_features)
+        a_shape = (layer.in_features, layer.batch)
+    else:
+        raise SimulationError(f"no operands for layer kind {layer.kind}")
+    weights = rng.integers(-magnitude, magnitude + 1, size=w_shape)
+    acts = rng.integers(-magnitude, magnitude + 1, size=a_shape)
+    return to_int16(weights), to_int16(acts)

@@ -1,0 +1,138 @@
+"""Host-CPU execution of EWOP layers (paper §II-A).
+
+FTDL accelerates CONV and MM only; activations, pooling, residual adds —
+the EWOP category — run on the host CPU, pipelined with the overlay.  This
+module is that host: bit-true int16 implementations of the common EWOPs,
+plus requantization of the overlay's wide accumulators back to 16-bit
+activations, and a simple throughput model so the pipeline simulator can
+check the paper's claim that performance "is not bounded by these layers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.fixedpoint import to_int16
+from repro.workloads.layers import EwopLayer
+
+
+def requantize(acc: np.ndarray, shift: int) -> np.ndarray:
+    """Scale wide accumulators back to int16 activations.
+
+    Arithmetic right shift with round-half-up, then saturation — the
+    standard fixed-point requantization an inference deployment folds into
+    each layer boundary.
+    """
+    if shift < 0:
+        raise SimulationError(f"requantize shift must be >= 0, got {shift}")
+    acc = np.asarray(acc, dtype=np.int64)
+    if shift == 0:
+        return to_int16(acc)
+    rounded = (acc + (1 << (shift - 1))) >> shift
+    return to_int16(rounded)
+
+
+def choose_shift(acc: np.ndarray) -> int:
+    """Smallest right shift that brings ``acc`` into the int16 range."""
+    peak = int(np.max(np.abs(np.asarray(acc, dtype=np.int64)))) if acc.size else 0
+    shift = 0
+    while (peak >> shift) > 32767:
+        shift += 1
+    return shift
+
+
+def _pool(x: np.ndarray, kernel: int, stride: int, padding: int,
+          reduce_max: bool) -> np.ndarray:
+    """2-D max/avg pooling on a (C, H, W) int16 tensor."""
+    c, h, w = x.shape
+    if padding:
+        pad_value = np.iinfo(np.int16).min if reduce_max else 0
+        padded = np.full(
+            (c, h + 2 * padding, w + 2 * padding), pad_value, dtype=np.int64
+        )
+        padded[:, padding:padding + h, padding:padding + w] = x
+    else:
+        padded = x.astype(np.int64)
+    oh = (padded.shape[1] - kernel) // stride + 1
+    ow = (padded.shape[2] - kernel) // stride + 1
+    if oh < 1 or ow < 1:
+        raise SimulationError("pooling output is empty")
+    windows = np.empty((kernel * kernel, c, oh, ow), dtype=np.int64)
+    for i, (dy, dx) in enumerate(
+        (dy, dx) for dy in range(kernel) for dx in range(kernel)
+    ):
+        windows[i] = padded[
+            :, dy:dy + stride * oh:stride, dx:dx + stride * ow:stride
+        ]
+    if reduce_max:
+        return to_int16(windows.max(axis=0))
+    # Average pooling counts padded positions like inference runtimes do
+    # when padding is zero (count_include_pad).
+    return to_int16(windows.sum(axis=0) // (kernel * kernel))
+
+
+@dataclass
+class HostCpu:
+    """Executes EWOP layers and accounts their cost.
+
+    Attributes:
+        ops_per_cycle: Host arithmetic throughput, in EWOP operations per
+            overlay CLK_h cycle.  The default (16) models a modest
+            embedded CPU with SIMD — enough that EWOP stays off the
+            critical path, which is exactly the §II-A claim the pipeline
+            simulator verifies.
+        total_ops: Operations executed so far.
+    """
+
+    ops_per_cycle: float = 16.0
+    total_ops: int = 0
+
+    def cycles_for(self, layer: EwopLayer) -> int:
+        """Equivalent overlay cycles the host spends on ``layer``."""
+        return int(-(-layer.ops // self.ops_per_cycle))
+
+    def execute(self, layer: EwopLayer, x: np.ndarray,
+                skip: np.ndarray | None = None) -> np.ndarray:
+        """Run one EWOP layer on int16 activations.
+
+        Args:
+            layer: The EWOP to run (op mnemonic + params).
+            x: Primary input tensor (int16).
+            skip: Second operand for residual adds.
+
+        Raises:
+            SimulationError: for unknown ops or missing operands.
+        """
+        x = to_int16(x)
+        self.total_ops += layer.ops
+        if layer.op == "relu":
+            return np.maximum(x, 0)
+        if layer.op in ("add", "add_relu"):
+            if skip is None:
+                raise SimulationError(f"{layer.name!r} needs a skip operand")
+            total = to_int16(x.astype(np.int64) + to_int16(skip).astype(np.int64))
+            return np.maximum(total, 0) if layer.op == "add_relu" else total
+        if layer.op in ("pool_max", "pool_avg"):
+            return _pool(
+                x,
+                kernel=layer.param("kernel"),
+                stride=layer.param("stride"),
+                padding=layer.param("padding", 0),
+                reduce_max=(layer.op == "pool_max"),
+            )
+        if layer.op == "bn_relu":
+            # Inference-folded batch norm: the scale/shift are folded into
+            # the conv weights by the deployment flow; at this point only
+            # the activation remains.
+            return np.maximum(x, 0)
+        if layer.op == "softmax":
+            # Classification head: monotone, so the int16 logits are
+            # returned unchanged (argmax-equivalent); the float softmax
+            # itself runs on the host outside the fixed-point domain.
+            return x
+        raise SimulationError(
+            f"host CPU has no implementation for EWOP {layer.op!r}"
+        )

@@ -1,0 +1,69 @@
+"""DRAM access traces: the interface between the simulator and the power
+model (the paper dumps data-access traces into DRAMPower the same way)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.units import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One DRAM transfer.
+
+    Attributes:
+        cycle: CLK_h cycle at which the transfer begins.
+        op: ``"RD"`` or ``"WR"``.
+        words: 16-bit words moved.
+        stream: Logical stream tag (``"act"``, ``"weight"``, ``"psum"``).
+    """
+
+    cycle: int
+    op: str
+    words: int
+    stream: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("RD", "WR"):
+            raise SimulationError(f"trace op must be RD/WR, got {self.op!r}")
+        if self.words < 0 or self.cycle < 0:
+            raise SimulationError("trace events need non-negative cycle/words")
+
+    @property
+    def bytes(self) -> int:
+        return self.words * BYTES_PER_WORD
+
+
+@dataclass
+class DramTrace:
+    """An ordered collection of DRAM transfers for one execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, cycle: int, op: str, words: int, stream: str) -> None:
+        if words > 0:
+            self.events.append(TraceEvent(cycle, op, words, stream))
+
+    # ------------------------------------------------------------------ #
+    def total_words(self, op: str | None = None, stream: str | None = None) -> int:
+        """Words moved, optionally filtered by direction and/or stream."""
+        return sum(
+            e.words for e in self.events
+            if (op is None or e.op == op) and (stream is None or e.stream == stream)
+        )
+
+    def total_bytes(self, op: str | None = None) -> int:
+        return self.total_words(op) * BYTES_PER_WORD
+
+    @property
+    def last_cycle(self) -> int:
+        return max((e.cycle for e in self.events), default=0)
+
+    def merge(self, other: "DramTrace", cycle_offset: int = 0) -> None:
+        """Append ``other``'s events shifted by ``cycle_offset``."""
+        for e in other.events:
+            self.events.append(
+                TraceEvent(e.cycle + cycle_offset, e.op, e.words, e.stream)
+            )

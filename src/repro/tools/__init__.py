@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.compile`` — schedule a layer or a whole model
+  and dump schedules / controller instruction streams.
+* ``python -m repro.tools.simulate`` — cycle-level simulation of one
+  layer with bit-exact golden verification.
+* ``python -m repro.tools.timing`` — post-P&R fmax report for an overlay
+  (or systolic baseline) on a catalogued device.
+* ``python -m repro.tools.characterize`` — the Table I characterization.
+* ``python -m repro.tools.report`` — assemble a markdown reproduction
+  report.
+"""

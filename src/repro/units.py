@@ -1,0 +1,56 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a small, fixed set of unit conventions; every quantity that
+crosses a module boundary follows them:
+
+* frequency    -- MHz (float)
+* time         -- nanoseconds (float) for physical delays,
+                  clock cycles (int) for schedule/simulation time
+* data sizes   -- 16-bit *words* unless a name says ``_bytes``
+* bandwidth    -- GB/s at module boundaries, words/cycle internally
+* energy       -- nanojoules, power in watts
+"""
+
+from __future__ import annotations
+
+#: Bytes per data word everywhere in the overlay (16-bit fixed point).
+BYTES_PER_WORD = 2
+
+#: Number of arithmetic operations counted per MACC (multiply + add).
+OPS_PER_MACC = 2
+
+
+def mhz_to_period_ns(freq_mhz: float) -> float:
+    """Return the clock period in nanoseconds for a frequency in MHz."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return 1e3 / freq_mhz
+
+
+def period_ns_to_mhz(period_ns: float) -> float:
+    """Return the frequency in MHz for a clock period in nanoseconds."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns}")
+    return 1e3 / period_ns
+
+
+def gbps_to_words_per_cycle(bandwidth_gbps: float, freq_mhz: float) -> float:
+    """Convert an off-chip bandwidth in GB/s to 16-bit words per clock cycle.
+
+    ``bandwidth_gbps`` is decimal GB/s (1e9 bytes per second), matching how
+    DRAM vendors and the paper quote bandwidth (26 GB/s).
+    """
+    bytes_per_cycle = bandwidth_gbps * 1e9 / (freq_mhz * 1e6)
+    return bytes_per_cycle / BYTES_PER_WORD
+
+
+def words_to_bytes(words: int) -> int:
+    """Return the byte size of ``words`` 16-bit words."""
+    return words * BYTES_PER_WORD
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)

@@ -1,0 +1,32 @@
+"""DL workload definitions: layers, loop nests, and the MLPerf model set.
+
+Layers carry everything the rest of the stack consumes: the K-level loop
+nest the compiler tiles (K = 6 for CONV, K = 3 for MM), operation and
+weight accounting for Table I, and tile-footprint functions used by the
+analytical model's ``f_act`` / ``f_psum`` terms.
+"""
+
+from repro.workloads.layers import (
+    LayerKind,
+    LoopDim,
+    ConvLayer,
+    MatMulLayer,
+    EwopLayer,
+    PoolLayer,
+)
+from repro.workloads.network import Network, OpBreakdown
+from repro.workloads.mlperf import MLPERF_MODELS, build_model, table1_rows
+
+__all__ = [
+    "LayerKind",
+    "LoopDim",
+    "ConvLayer",
+    "MatMulLayer",
+    "EwopLayer",
+    "PoolLayer",
+    "Network",
+    "OpBreakdown",
+    "MLPERF_MODELS",
+    "build_model",
+    "table1_rows",
+]

@@ -1,0 +1,399 @@
+"""Layer definitions and their loop-nest views.
+
+Every accelerated layer exposes its computation as a K-level perfect loop
+nest (paper Fig. 4): CONV as six loops, MM as three.  Each loop dimension is
+tagged with whether it indexes the weights, the activations, or is a
+reduction — those tags drive the adjacency matrix (Fig. 5), the WBUF
+efficiency model, and the buffer-footprint functions.
+
+Loop naming follows the paper:
+
+* CONV: ``M`` output channels, ``N`` input channels, ``H``/``W`` output
+  rows/columns, ``R``/``S`` kernel rows/columns.
+* MM (paper Fig. 5 notation): ``M`` input features (the reduction), ``N``
+  output features, ``P`` batch columns.
+
+EWOP layers (activations, element-wise adds, pooling) run on the host CPU
+in the paper's system and are only *accounted*, never scheduled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from math import prod
+
+from repro.errors import WorkloadError
+from repro.units import OPS_PER_MACC
+
+
+class LayerKind(enum.Enum):
+    CONV = "conv"
+    MM = "mm"
+    EWOP = "ewop"
+
+
+@dataclass(frozen=True)
+class LoopDim:
+    """One dimension of a layer's loop nest.
+
+    Attributes:
+        name: Paper loop name (``"M"``, ``"N"``, …).
+        size: Trip count (the paper's ``W_k``).
+        reduction: True if iterations accumulate into the same output.
+        in_weights: True if the dimension indexes the weight tensor.
+        in_acts: True if the dimension indexes the input activations.
+    """
+
+    name: str
+    size: int
+    reduction: bool
+    in_weights: bool
+    in_acts: bool
+
+    @property
+    def in_output(self) -> bool:
+        """A non-reduction dimension indexes the output tensor."""
+        return not self.reduction
+
+
+class _AcceleratedLayer:
+    """Shared accounting interface of CONV and MM layers."""
+
+    name: str
+    kind: LayerKind
+
+    def loop_dims(self) -> tuple[LoopDim, ...]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    @property
+    def loop_sizes(self) -> dict[str, int]:
+        """Trip count per loop name (the workload's ``W_k`` vector)."""
+        return {d.name: d.size for d in self.loop_dims()}
+
+    @property
+    def maccs(self) -> int:
+        """Total multiply-accumulates (product of all trip counts)."""
+        return prod(d.size for d in self.loop_dims())
+
+    @property
+    def ops(self) -> int:
+        """Arithmetic operations (2 per MACC)."""
+        return OPS_PER_MACC * self.maccs
+
+    @property
+    def weight_words(self) -> int:
+        """Unique weight words (product of weight-indexing trip counts)."""
+        return prod(d.size for d in self.loop_dims() if d.in_weights)
+
+    @property
+    def output_words(self) -> int:
+        """Output tensor size (product of non-reduction trip counts)."""
+        return prod(d.size for d in self.loop_dims() if d.in_output)
+
+    @property
+    def input_words(self) -> int:
+        """Input activation tensor size."""
+        raise NotImplementedError
+
+    def act_footprint(self, tile: dict[str, int]) -> int:
+        """Input-activation words touched by one tile (``f_act`` of Eqn 8).
+
+        ``tile`` maps loop names to tile sizes; missing names default to 1.
+        """
+        raise NotImplementedError
+
+    def out_footprint(self, tile: dict[str, int]) -> int:
+        """Output/partial-sum words produced by one tile (``f_psum``)."""
+        return prod(
+            tile.get(d.name, 1) for d in self.loop_dims() if d.in_output
+        )
+
+    def weight_footprint(self, tile: dict[str, int]) -> int:
+        """Weight words required by one tile."""
+        return prod(
+            tile.get(d.name, 1) for d in self.loop_dims() if d.in_weights
+        )
+
+    # ------------------------------------------------------------------ #
+    # coordinate maps (used by the cycle simulator and golden checks)
+    # ------------------------------------------------------------------ #
+    def weight_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        """Weight-tensor coordinates for one workload index tuple."""
+        raise NotImplementedError
+
+    def act_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        """Input-tensor coordinates; may be out of range (zero padding)."""
+        raise NotImplementedError
+
+    def out_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        """Output-tensor coordinates for one workload index tuple."""
+        raise NotImplementedError
+
+    def out_shape(self) -> tuple[int, ...]:
+        """Logical output tensor shape."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConvLayer(_AcceleratedLayer):
+    """A 2-D convolution layer (K = 6 loop nest), optionally grouped.
+
+    Attributes:
+        name: Layer identifier within its network.
+        in_channels: Input channels (``N`` spans ``in_channels / groups``).
+        out_channels: Output channels (filters) ``M``.
+        in_h / in_w: Input spatial size (pre-padding).
+        kernel_h / kernel_w: Kernel spatial size ``R`` x ``S``.
+        stride: Spatial stride (same in both axes).
+        padding: Zero padding on each side.
+        groups: Channel groups; ``groups == in_channels == out_channels``
+            is a depthwise convolution.  With groups the ``M`` loop also
+            selects the input-channel group, so ``M`` stops being
+            ActBUS-shareable (see :mod:`repro.compiler.adjacency`).
+        weight_group: Weight-tying key; layers sharing a group store one
+            copy of their weights (``None`` means the layer's own name).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_h: int
+    in_w: int
+    kernel_h: int
+    kernel_w: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    weight_group: str | None = None
+    kind: LayerKind = LayerKind.CONV
+
+    def __post_init__(self) -> None:
+        positive = (
+            self.in_channels, self.out_channels, self.in_h, self.in_w,
+            self.kernel_h, self.kernel_w, self.stride, self.groups,
+        )
+        if min(positive) < 1 or self.padding < 0:
+            raise WorkloadError(f"conv layer {self.name!r} has invalid shape")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise WorkloadError(
+                f"conv layer {self.name!r}: groups={self.groups} must divide "
+                f"both in_channels={self.in_channels} and "
+                f"out_channels={self.out_channels}"
+            )
+        if self.out_h < 1 or self.out_w < 1:
+            raise WorkloadError(
+                f"conv layer {self.name!r} produces empty output "
+                f"({self.out_h}x{self.out_w})"
+            )
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h + 2 * self.padding - self.kernel_h) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w + 2 * self.padding - self.kernel_w) // self.stride + 1
+
+    @property
+    def group_in_channels(self) -> int:
+        """Input channels seen by one filter (the ``N`` loop's span)."""
+        return self.in_channels // self.groups
+
+    @property
+    def group_out_channels(self) -> int:
+        """Output channels per group."""
+        return self.out_channels // self.groups
+
+    def loop_dims(self) -> tuple[LoopDim, ...]:
+        return (
+            LoopDim("M", self.out_channels, reduction=False, in_weights=True,
+                    in_acts=(self.groups > 1)),
+            LoopDim("N", self.group_in_channels, reduction=True,
+                    in_weights=True, in_acts=True),
+            LoopDim("H", self.out_h, reduction=False, in_weights=False, in_acts=True),
+            LoopDim("W", self.out_w, reduction=False, in_weights=False, in_acts=True),
+            LoopDim("R", self.kernel_h, reduction=True, in_weights=True, in_acts=True),
+            LoopDim("S", self.kernel_w, reduction=True, in_weights=True, in_acts=True),
+        )
+
+    @property
+    def input_words(self) -> int:
+        return self.in_channels * self.in_h * self.in_w
+
+    def act_footprint(self, tile: dict[str, int]) -> int:
+        """Input window for a tile: overlapping rows/columns counted once.
+
+        With groups, an ``M`` tile spans input-channel groups; the
+        footprint multiplies by the groups touched (contiguous tile
+        assumption — exact for group-aligned tiles, tight otherwise).
+        """
+        n_t = tile.get("N", 1)
+        h_t = tile.get("H", 1)
+        w_t = tile.get("W", 1)
+        r_t = tile.get("R", 1)
+        s_t = tile.get("S", 1)
+        rows = (h_t - 1) * self.stride + r_t
+        cols = (w_t - 1) * self.stride + s_t
+        groups_touched = 1
+        if self.groups > 1:
+            m_t = tile.get("M", 1)
+            groups_touched = min(
+                self.groups, -(-m_t // self.group_out_channels)
+            )
+        return groups_touched * n_t * rows * cols
+
+    def weight_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        return (idx["M"], idx["N"], idx["R"], idx["S"])
+
+    def act_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        group = idx["M"] // self.group_out_channels if self.groups > 1 else 0
+        return (
+            group * self.group_in_channels + idx["N"],
+            idx["H"] * self.stride + idx["R"] - self.padding,
+            idx["W"] * self.stride + idx["S"] - self.padding,
+        )
+
+    def out_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        return (idx["M"], idx["H"], idx["W"])
+
+    def out_shape(self) -> tuple[int, ...]:
+        return (self.out_channels, self.out_h, self.out_w)
+
+    def act_in_range(self, coord: tuple[int, ...]) -> bool:
+        """Whether an activation coordinate lies inside the (unpadded)
+        input tensor; out-of-range reads return zero (padding)."""
+        n, ih, iw = coord
+        return (
+            0 <= n < self.in_channels
+            and 0 <= ih < self.in_h
+            and 0 <= iw < self.in_w
+        )
+
+
+@dataclass(frozen=True)
+class MatMulLayer(_AcceleratedLayer):
+    """A matrix-multiply layer (K = 3): ``out[N, P] = W[N, M] @ act[M, P]``.
+
+    Fully connected layers have ``batch = 1``; LSTM gate computations fold
+    their four gates into ``out_features``.
+    """
+
+    name: str
+    in_features: int
+    out_features: int
+    batch: int = 1
+    weight_group: str | None = None
+    kind: LayerKind = LayerKind.MM
+
+    def __post_init__(self) -> None:
+        if min(self.in_features, self.out_features, self.batch) < 1:
+            raise WorkloadError(f"mm layer {self.name!r} has invalid shape")
+
+    def loop_dims(self) -> tuple[LoopDim, ...]:
+        return (
+            LoopDim("M", self.in_features, reduction=True, in_weights=True, in_acts=True),
+            LoopDim("N", self.out_features, reduction=False, in_weights=True, in_acts=False),
+            LoopDim("P", self.batch, reduction=False, in_weights=False, in_acts=True),
+        )
+
+    @property
+    def input_words(self) -> int:
+        return self.in_features * self.batch
+
+    def act_footprint(self, tile: dict[str, int]) -> int:
+        return tile.get("M", 1) * tile.get("P", 1)
+
+    def weight_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        return (idx["N"], idx["M"])
+
+    def act_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        return (idx["M"], idx["P"])
+
+    def out_coord(self, idx: dict[str, int]) -> tuple[int, ...]:
+        return (idx["N"], idx["P"])
+
+    def out_shape(self) -> tuple[int, ...]:
+        return (self.out_features, self.batch)
+
+    def act_in_range(self, coord: tuple[int, ...]) -> bool:
+        m, p = coord
+        return 0 <= m < self.in_features and 0 <= p < self.batch
+
+
+@dataclass(frozen=True)
+class EwopLayer:
+    """An element-wise host-CPU layer (activation, residual add, …).
+
+    Attributes:
+        name: Layer identifier.
+        op: Operation mnemonic (``"relu"``, ``"add"``, ``"sigmoid"``, …).
+        n_elements: Elements processed.
+        ops_per_element: Arithmetic operations charged per element.
+        params: Optional execution parameters as (name, value) pairs —
+            e.g. a pooling layer's ``kernel``/``stride``/``padding`` — used
+            by the host-CPU executor; accounting ignores them.
+    """
+
+    name: str
+    op: str
+    n_elements: int
+    ops_per_element: int = 1
+    params: tuple[tuple[str, int], ...] = ()
+    kind: LayerKind = LayerKind.EWOP
+
+    def param(self, name: str, default: int | None = None) -> int:
+        """Look up one execution parameter.
+
+        Raises:
+            WorkloadError: if absent and no default is given.
+        """
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is None:
+            raise WorkloadError(
+                f"ewop layer {self.name!r} has no parameter {name!r}"
+            )
+        return default
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 0 or self.ops_per_element < 1:
+            raise WorkloadError(f"ewop layer {self.name!r} has invalid size")
+
+    @property
+    def ops(self) -> int:
+        return self.n_elements * self.ops_per_element
+
+    @property
+    def weight_words(self) -> int:
+        return 0
+
+
+def PoolLayer(
+    name: str,
+    channels: int,
+    in_h: int,
+    in_w: int,
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+    op: str = "pool_max",
+) -> EwopLayer:
+    """Build the EWOP accounting entry for a pooling layer.
+
+    Pooling runs on the host CPU (Table I counts it under EWOP); each output
+    element costs ``kernel**2`` compare/add operations.
+    """
+    out_h = (in_h + 2 * padding - kernel) // stride + 1
+    out_w = (in_w + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise WorkloadError(f"pool layer {name!r} produces empty output")
+    return EwopLayer(
+        name=name,
+        op=op,
+        n_elements=channels * out_h * out_w,
+        ops_per_element=kernel * kernel,
+        params=(("kernel", kernel), ("stride", stride), ("padding", padding)),
+    )

@@ -1,0 +1,82 @@
+"""The Table I benchmark set and its characterization rows.
+
+``table1_rows`` regenerates the paper's Table I: per-model operation
+breakdown across CONV / MM / EWOP and the 16-bit weight budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.models import (
+    build_alphagozero,
+    build_googlenet,
+    build_resnet50,
+    build_seqcnn,
+    build_seqlstm,
+)
+from repro.workloads.network import Network
+
+#: Model name -> builder, in Table I order.
+MLPERF_MODELS: dict[str, Callable[[], Network]] = {
+    "GoogLeNet": build_googlenet,
+    "ResNet50": build_resnet50,
+    "AlphaGoZero": build_alphagozero,
+    "Sentimental-seqCNN": build_seqcnn,
+    "Sentimental-seqLSTM": build_seqlstm,
+}
+
+_CACHE: dict[str, Network] = {}
+
+
+def build_model(name: str) -> Network:
+    """Build (and memoize) one Table I model by name.
+
+    Raises:
+        WorkloadError: for unknown model names.
+    """
+    if name not in MLPERF_MODELS:
+        known = ", ".join(MLPERF_MODELS)
+        raise WorkloadError(f"unknown model {name!r}; known models: {known}")
+    if name not in _CACHE:
+        _CACHE[name] = MLPERF_MODELS[name]()
+    return _CACHE[name]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    model: str
+    application: str
+    conv_pct: float
+    mm_pct: float
+    ewop_pct: float
+    weight_bytes: int
+
+    def format_weights(self) -> str:
+        """Human form of the weight budget, matching the paper's units."""
+        if self.weight_bytes >= 1e6:
+            return f"{self.weight_bytes / 1e6:.2f}M"
+        return f"{self.weight_bytes / 1e3:.2f}K"
+
+
+def table1_rows() -> list[Table1Row]:
+    """Regenerate Table I for every benchmark model."""
+    rows = []
+    for name in MLPERF_MODELS:
+        net = build_model(name)
+        breakdown = net.op_breakdown()
+        rows.append(
+            Table1Row(
+                model=net.name,
+                application=net.application,
+                conv_pct=100.0 * breakdown.conv_fraction,
+                mm_pct=100.0 * breakdown.mm_fraction,
+                ewop_pct=100.0 * breakdown.ewop_fraction,
+                weight_bytes=net.weight_bytes,
+            )
+        )
+    return rows

@@ -1,0 +1,18 @@
+"""Layer-exact definitions of the Table I benchmark networks."""
+
+from repro.workloads.models.googlenet import build_googlenet
+from repro.workloads.models.resnet import build_resnet50
+from repro.workloads.models.alphagozero import build_alphagozero
+from repro.workloads.models.sentiment import build_seqcnn, build_seqlstm
+from repro.workloads.models.smallcnn import build_smallcnn
+from repro.workloads.models.mobilenet import build_mobilenet_v1
+
+__all__ = [
+    "build_googlenet",
+    "build_resnet50",
+    "build_alphagozero",
+    "build_seqcnn",
+    "build_seqlstm",
+    "build_smallcnn",
+    "build_mobilenet_v1",
+]

@@ -1,0 +1,98 @@
+"""AlphaGoZero-style value/policy network on a 19 x 19 board.
+
+The Table I entry is a compact deployment-scale variant (2.08 MB of 16-bit
+weights, CONV-dominated with tiny MM heads).  We use the canonical AGZ
+block structure — convolutional stem, residual tower, policy and value
+heads — sized at 64 filters and 9 residual blocks, which lands the weight
+budget and the 99.9 %-CONV op mix of the paper's row.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
+from repro.workloads.network import AnyLayer, Network
+
+#: Board side and input feature planes (8 move pairs + colour plane).
+BOARD = 19
+IN_PLANES = 17
+FILTERS = 64
+N_BLOCKS = 9
+
+
+def _conv_block(
+    layers: list[AnyLayer],
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    kernel: int,
+) -> None:
+    padding = kernel // 2
+    layers.append(
+        ConvLayer(
+            name=name,
+            in_channels=in_ch,
+            out_channels=out_ch,
+            in_h=BOARD,
+            in_w=BOARD,
+            kernel_h=kernel,
+            kernel_w=kernel,
+            stride=1,
+            padding=padding,
+        )
+    )
+    # Batch-norm (folded scale/shift at inference) + ReLU.
+    layers.append(
+        EwopLayer(
+            name=f"{name}.bn_relu",
+            op="bn_relu",
+            n_elements=out_ch * BOARD * BOARD,
+            ops_per_element=3,
+        )
+    )
+
+
+def build_alphagozero() -> Network:
+    """Build the AlphaGoZero inference workload (one board position)."""
+    layers: list[AnyLayer] = []
+
+    _conv_block(layers, "stem", IN_PLANES, FILTERS, kernel=3)
+
+    for i in range(N_BLOCKS):
+        _conv_block(layers, f"res{i}.conv1", FILTERS, FILTERS, kernel=3)
+        _conv_block(layers, f"res{i}.conv2", FILTERS, FILTERS, kernel=3)
+        layers.append(
+            EwopLayer(
+                name=f"res{i}.add",
+                op="add",
+                n_elements=FILTERS * BOARD * BOARD,
+            )
+        )
+
+    # Policy head: 1x1 conv to 2 planes, FC to 362 move logits.
+    _conv_block(layers, "policy.conv", FILTERS, 2, kernel=1)
+    layers.append(
+        MatMulLayer(
+            name="policy.fc",
+            in_features=2 * BOARD * BOARD,
+            out_features=BOARD * BOARD + 1,
+        )
+    )
+    layers.append(
+        EwopLayer(name="policy.softmax", op="softmax",
+                  n_elements=BOARD * BOARD + 1, ops_per_element=3)
+    )
+
+    # Value head: 1x1 conv to 1 plane, FC 361 -> 256 -> 1, tanh.
+    _conv_block(layers, "value.conv", FILTERS, 1, kernel=1)
+    layers.append(
+        MatMulLayer(name="value.fc1", in_features=BOARD * BOARD, out_features=256)
+    )
+    layers.append(
+        EwopLayer(name="value.relu", op="relu", n_elements=256)
+    )
+    layers.append(MatMulLayer(name="value.fc2", in_features=256, out_features=1))
+    layers.append(EwopLayer(name="value.tanh", op="tanh", n_elements=1, ops_per_element=4))
+
+    return Network(
+        name="AlphaGoZero", application="Operation Decision", layers=tuple(layers)
+    )

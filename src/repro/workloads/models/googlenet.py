@@ -1,0 +1,121 @@
+"""GoogLeNet (Inception v1) for 224 x 224 ImageNet inference.
+
+Layer shapes follow Szegedy et al., CVPR 2015 (auxiliary classifiers
+omitted, as in inference deployments): roughly 6.9 M weights / 13.8 MB at
+16 bit and ~1.58 G MACCs per frame, matching the paper's Table I row and
+the 402.6-FPS arithmetic of Table II.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer, PoolLayer
+from repro.workloads.network import AnyLayer, Network
+
+
+def _conv_relu(
+    layers: list[AnyLayer],
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    size: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> int:
+    """Append a conv + ReLU pair; return the output spatial size."""
+    conv = ConvLayer(
+        name=name,
+        in_channels=in_ch,
+        out_channels=out_ch,
+        in_h=size,
+        in_w=size,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride=stride,
+        padding=padding,
+    )
+    layers.append(conv)
+    layers.append(
+        EwopLayer(
+            name=f"{name}.relu",
+            op="relu",
+            n_elements=out_ch * conv.out_h * conv.out_w,
+        )
+    )
+    return conv.out_h
+
+
+def _inception(
+    layers: list[AnyLayer],
+    name: str,
+    in_ch: int,
+    size: int,
+    c1: int,
+    c3r: int,
+    c3: int,
+    c5r: int,
+    c5: int,
+    cp: int,
+) -> int:
+    """Append one inception module; return its output channel count.
+
+    Branches: 1x1 (``c1``), 1x1->3x3 (``c3r``->``c3``), 1x1->5x5
+    (``c5r``->``c5``), and 3x3 maxpool -> 1x1 (``cp``).
+    """
+    _conv_relu(layers, f"{name}.b1.1x1", in_ch, c1, size, kernel=1)
+    _conv_relu(layers, f"{name}.b2.reduce", in_ch, c3r, size, kernel=1)
+    _conv_relu(layers, f"{name}.b2.3x3", c3r, c3, size, kernel=3, padding=1)
+    _conv_relu(layers, f"{name}.b3.reduce", in_ch, c5r, size, kernel=1)
+    _conv_relu(layers, f"{name}.b3.5x5", c5r, c5, size, kernel=5, padding=2)
+    layers.append(
+        PoolLayer(f"{name}.b4.pool", in_ch, size, size, kernel=3, stride=1, padding=1)
+    )
+    _conv_relu(layers, f"{name}.b4.proj", in_ch, cp, size, kernel=1)
+    return c1 + c3 + c5 + cp
+
+
+#: (c1, c3r, c3, c5r, c5, pool-proj) per module, from the GoogLeNet paper.
+_INCEPTION_TABLE = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def build_googlenet() -> Network:
+    """Build the full GoogLeNet inference workload (one 224 x 224 frame)."""
+    layers: list[AnyLayer] = []
+
+    _conv_relu(layers, "conv1", 3, 64, 224, kernel=7, stride=2, padding=3)
+    layers.append(PoolLayer("pool1", 64, 112, 112, kernel=3, stride=2, padding=1))
+    _conv_relu(layers, "conv2.reduce", 64, 64, 56, kernel=1)
+    _conv_relu(layers, "conv2.3x3", 64, 192, 56, kernel=3, padding=1)
+    layers.append(PoolLayer("pool2", 192, 56, 56, kernel=3, stride=2, padding=1))
+
+    channels, size = 192, 28
+    for module in ("3a", "3b"):
+        channels = _inception(layers, module, channels, size, *_INCEPTION_TABLE[module])
+    layers.append(PoolLayer("pool3", channels, size, size, kernel=3, stride=2, padding=1))
+
+    size = 14
+    for module in ("4a", "4b", "4c", "4d", "4e"):
+        channels = _inception(layers, module, channels, size, *_INCEPTION_TABLE[module])
+    layers.append(PoolLayer("pool4", channels, size, size, kernel=3, stride=2, padding=1))
+
+    size = 7
+    for module in ("5a", "5b"):
+        channels = _inception(layers, module, channels, size, *_INCEPTION_TABLE[module])
+
+    layers.append(
+        PoolLayer("avgpool", channels, size, size, kernel=7, stride=1, op="pool_avg")
+    )
+    layers.append(MatMulLayer(name="fc", in_features=channels, out_features=1000))
+    layers.append(EwopLayer(name="softmax", op="softmax", n_elements=1000, ops_per_element=3))
+
+    return Network(name="GoogLeNet", application="Image Processing", layers=tuple(layers))

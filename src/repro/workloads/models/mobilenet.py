@@ -1,0 +1,70 @@
+"""MobileNetV1 for 224 x 224 inference (extension model).
+
+Howard et al., 2017: a 3x3 stem plus 13 depthwise-separable blocks.
+Not part of the paper's Table I set — it is the stress test for the
+grouped-convolution extension: depthwise layers carry almost no weight
+reuse, so they probe exactly the assumption (activation broadcast across
+SIMD columns) that FTDL's ``D2`` dimension monetizes.
+
+~4.2 M weights / 8.5 MB at 16 bit, ~568 M MACCs per frame.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer, PoolLayer
+from repro.workloads.network import AnyLayer, Network
+
+#: (stride of the depthwise conv, output channels of the pointwise conv).
+_BLOCKS = (
+    (1, 64), (2, 128), (1, 128), (2, 256), (1, 256), (2, 512),
+    (1, 512), (1, 512), (1, 512), (1, 512), (1, 512),
+    (2, 1024), (1, 1024),
+)
+
+
+def _relu(layers: list[AnyLayer], name: str, elements: int) -> None:
+    layers.append(EwopLayer(f"{name}.relu", op="relu", n_elements=elements))
+
+
+def build_mobilenet_v1() -> Network:
+    """Build the MobileNetV1 inference workload (one 224 x 224 frame)."""
+    layers: list[AnyLayer] = []
+
+    stem = ConvLayer(
+        name="conv1", in_channels=3, out_channels=32,
+        in_h=224, in_w=224, kernel_h=3, kernel_w=3, stride=2, padding=1,
+    )
+    layers.append(stem)
+    _relu(layers, "conv1", 32 * stem.out_h * stem.out_w)
+    size, channels = stem.out_h, 32
+
+    for index, (stride, out_channels) in enumerate(_BLOCKS):
+        dw = ConvLayer(
+            name=f"block{index}.dw",
+            in_channels=channels, out_channels=channels,
+            in_h=size, in_w=size, kernel_h=3, kernel_w=3,
+            stride=stride, padding=1, groups=channels,
+        )
+        layers.append(dw)
+        _relu(layers, dw.name, channels * dw.out_h * dw.out_w)
+        pw = ConvLayer(
+            name=f"block{index}.pw",
+            in_channels=channels, out_channels=out_channels,
+            in_h=dw.out_h, in_w=dw.out_w, kernel_h=1, kernel_w=1,
+        )
+        layers.append(pw)
+        _relu(layers, pw.name, out_channels * pw.out_h * pw.out_w)
+        size, channels = pw.out_h, out_channels
+
+    layers.append(
+        PoolLayer("avgpool", channels, size, size, kernel=size, stride=1,
+                  op="pool_avg")
+    )
+    layers.append(MatMulLayer("fc", in_features=channels, out_features=1000))
+    layers.append(
+        EwopLayer("softmax", op="softmax", n_elements=1000, ops_per_element=3)
+    )
+    return Network(
+        name="MobileNetV1", application="Image Processing",
+        layers=tuple(layers),
+    )

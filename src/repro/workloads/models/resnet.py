@@ -1,0 +1,124 @@
+"""ResNet50 for 224 x 224 ImageNet inference.
+
+Bottleneck residual architecture of He et al., CVPR 2016: stages of
+[3, 4, 6, 3] blocks, ~25.5 M weights / 51 MB at 16 bit, ~3.9 G MACCs per
+frame — the Table I ResNet50 row.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer, PoolLayer
+from repro.workloads.network import AnyLayer, Network
+
+
+def _conv(
+    layers: list[AnyLayer],
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    size: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    relu: bool = True,
+) -> int:
+    conv = ConvLayer(
+        name=name,
+        in_channels=in_ch,
+        out_channels=out_ch,
+        in_h=size,
+        in_w=size,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride=stride,
+        padding=padding,
+    )
+    layers.append(conv)
+    if relu:
+        layers.append(
+            EwopLayer(
+                name=f"{name}.relu",
+                op="relu",
+                n_elements=out_ch * conv.out_h * conv.out_w,
+            )
+        )
+    return conv.out_h
+
+
+def _bottleneck(
+    layers: list[AnyLayer],
+    name: str,
+    in_ch: int,
+    mid_ch: int,
+    out_ch: int,
+    size: int,
+    stride: int,
+    downsample: bool,
+) -> int:
+    """Append one bottleneck block (1x1 -> 3x3 -> 1x1 + identity).
+
+    Returns the output spatial size.  The stride sits on the 3x3 conv
+    (the torchvision/v1.5 convention, which is also what inference
+    deployments ship).
+    """
+    _conv(layers, f"{name}.conv1", in_ch, mid_ch, size, kernel=1)
+    out_size = _conv(
+        layers, f"{name}.conv2", mid_ch, mid_ch, size, kernel=3,
+        stride=stride, padding=1,
+    )
+    _conv(layers, f"{name}.conv3", mid_ch, out_ch, out_size, kernel=1, relu=False)
+    if downsample:
+        _conv(
+            layers, f"{name}.downsample", in_ch, out_ch, size, kernel=1,
+            stride=stride, relu=False,
+        )
+    layers.append(
+        EwopLayer(
+            name=f"{name}.add_relu",
+            op="add_relu",
+            n_elements=out_ch * out_size * out_size,
+            ops_per_element=2,
+        )
+    )
+    return out_size
+
+
+#: (blocks, mid channels, out channels) per stage.
+_STAGES = (
+    ("layer1", 3, 64, 256),
+    ("layer2", 4, 128, 512),
+    ("layer3", 6, 256, 1024),
+    ("layer4", 3, 512, 2048),
+)
+
+
+def build_resnet50() -> Network:
+    """Build the full ResNet50 inference workload (one 224 x 224 frame)."""
+    layers: list[AnyLayer] = []
+
+    size = _conv(layers, "conv1", 3, 64, 224, kernel=7, stride=2, padding=3)
+    layers.append(PoolLayer("maxpool", 64, size, size, kernel=3, stride=2, padding=1))
+    size, channels = 56, 64
+
+    for stage_name, n_blocks, mid_ch, out_ch in _STAGES:
+        for block in range(n_blocks):
+            stride = 2 if (block == 0 and stage_name != "layer1") else 1
+            size = _bottleneck(
+                layers,
+                f"{stage_name}.{block}",
+                in_ch=channels,
+                mid_ch=mid_ch,
+                out_ch=out_ch,
+                size=size,
+                stride=stride,
+                downsample=(block == 0),
+            )
+            channels = out_ch
+
+    layers.append(
+        PoolLayer("avgpool", channels, size, size, kernel=size, stride=1, op="pool_avg")
+    )
+    layers.append(MatMulLayer(name="fc", in_features=channels, out_features=1000))
+    layers.append(EwopLayer(name="softmax", op="softmax", n_elements=1000, ops_per_element=3))
+
+    return Network(name="ResNet50", application="Image Processing", layers=tuple(layers))

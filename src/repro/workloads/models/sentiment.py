@@ -1,0 +1,147 @@
+"""Sentiment-analysis sequence models: seqCNN and seqLSTM (Table I).
+
+The paper characterizes two proprietary sequence-analysis models only by
+their op mix and weight budget; we reconstruct architectures that land the
+same budgets:
+
+* **seqCNN** — a character-level document CNN: four gated conv blocks with
+  /4 max-pooling between them, a wide region-classification head conv, and
+  a tiny FC.  Weights ~344 KB at 16-bit; ops dominated by CONV with a
+  ~5-10 % EWOP share from the gating/normalization/pooling stack.
+* **seqLSTM** — a two-layer LSTM (hidden = input = 1117) unrolled over 25
+  timesteps, each step a single fused-gate MM (the four gates stacked into
+  one ``2234 -> 4468`` matrix), weights tied across steps.  19.96 M weights
+  = 39.9 MB, ops > 99.8 % MM — the Table I row exactly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
+from repro.workloads.network import AnyLayer, Network
+
+# --------------------------------------------------------------------- #
+# seqCNN
+# --------------------------------------------------------------------- #
+
+#: Document length in tokens and embedding width.
+SEQCNN_LENGTH = 4096
+SEQCNN_CHANNELS = 16
+#: Channels of the wide region-classification head conv.
+SEQCNN_HEAD_CHANNELS = 2560
+#: EWOP cost per conv-block output element: folded batch-norm (3), GLU
+#: gate (3), squeeze-excite scale (4), residual add (1), /4 max pool (4),
+#: dropout mask (1).
+SEQCNN_BLOCK_EWOPS = 16
+
+
+def build_seqcnn() -> Network:
+    """Build the sentiment seqCNN inference workload (one document)."""
+    layers: list[AnyLayer] = []
+    length = SEQCNN_LENGTH
+    channels = SEQCNN_CHANNELS
+
+    for i in range(4):
+        # 1-D "same" conv: the W axis carries the sequence; padding is
+        # modelled by widening the input by kernel - 1.
+        conv = ConvLayer(
+            name=f"block{i}.conv",
+            in_channels=channels,
+            out_channels=channels,
+            in_h=1,
+            in_w=length + 2,
+            kernel_h=1,
+            kernel_w=3,
+        )
+        layers.append(conv)
+        layers.append(
+            EwopLayer(
+                name=f"block{i}.gates",
+                op="bn_glu_se_pool",
+                n_elements=channels * length,
+                ops_per_element=SEQCNN_BLOCK_EWOPS,
+            )
+        )
+        length //= 4  # /4 max pooling (counted in the gate EWOP above)
+
+    # Wide region head over the 16 pooled positions (kernel 4).
+    head = ConvLayer(
+        name="head.conv",
+        in_channels=channels,
+        out_channels=SEQCNN_HEAD_CHANNELS,
+        in_h=1,
+        in_w=length,
+        kernel_h=1,
+        kernel_w=4,
+    )
+    layers.append(head)
+    layers.append(
+        EwopLayer(
+            name="head.maxpool",
+            op="pool_max",
+            n_elements=SEQCNN_HEAD_CHANNELS,
+            ops_per_element=head.out_w,
+        )
+    )
+    layers.append(
+        MatMulLayer(name="classifier", in_features=SEQCNN_HEAD_CHANNELS, out_features=2)
+    )
+    layers.append(
+        EwopLayer(name="softmax", op="softmax", n_elements=2, ops_per_element=3)
+    )
+    return Network(
+        name="Sentimental-seqCNN",
+        application="Sequence Analysis",
+        layers=tuple(layers),
+    )
+
+
+# --------------------------------------------------------------------- #
+# seqLSTM
+# --------------------------------------------------------------------- #
+
+#: Hidden size == input embedding size; chosen so the two layers' fused
+#: gate matrices total 19.96 M words = 39.9 MB at 16 bit.
+SEQLSTM_HIDDEN = 1117
+SEQLSTM_LAYERS = 2
+SEQLSTM_STEPS = 25
+#: EWOP cost per hidden unit per step: 3 sigmoids (2), 2 tanh (2),
+#: 3 multiplies + 2 adds of the cell update.
+SEQLSTM_GATE_EWOPS = 15
+
+
+def build_seqlstm() -> Network:
+    """Build the sentiment seqLSTM inference workload (one sequence).
+
+    Each timestep of each layer is one fused MM over the concatenated
+    ``[x_t, h_{t-1}]`` vector producing all four gate pre-activations;
+    weights are tied across timesteps via ``weight_group``.
+    """
+    hidden = SEQLSTM_HIDDEN
+    layers: list[AnyLayer] = []
+    for step in range(SEQLSTM_STEPS):
+        for lstm_layer in range(SEQLSTM_LAYERS):
+            layers.append(
+                MatMulLayer(
+                    name=f"t{step}.l{lstm_layer}.gates",
+                    in_features=2 * hidden,
+                    out_features=4 * hidden,
+                    weight_group=f"lstm.l{lstm_layer}",
+                )
+            )
+            layers.append(
+                EwopLayer(
+                    name=f"t{step}.l{lstm_layer}.cell",
+                    op="lstm_cell",
+                    n_elements=hidden,
+                    ops_per_element=SEQLSTM_GATE_EWOPS,
+                )
+            )
+    layers.append(MatMulLayer(name="classifier", in_features=hidden, out_features=2))
+    layers.append(
+        EwopLayer(name="softmax", op="softmax", n_elements=2, ops_per_element=3)
+    )
+    return Network(
+        name="Sentimental-seqLSTM",
+        application="Sequence Analysis",
+        layers=tuple(layers),
+    )

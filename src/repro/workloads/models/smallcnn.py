@@ -1,0 +1,45 @@
+"""A small sequential CNN for end-to-end pipeline simulation.
+
+LeNet-scale and strictly sequential (no branches), so the
+:class:`repro.sim.pipeline.NetworkSimulator` can push real activations
+through every stage — overlay CONV/MM, host EWOP — bit-true in seconds.
+Not part of the Table I benchmark set.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer, PoolLayer
+from repro.workloads.network import AnyLayer, Network
+
+
+def build_smallcnn(in_size: int = 32, in_channels: int = 3) -> Network:
+    """Build the demo CNN: two conv/pool stages and a classifier head."""
+    layers: list[AnyLayer] = []
+
+    conv1 = ConvLayer(
+        name="conv1", in_channels=in_channels, out_channels=8,
+        in_h=in_size, in_w=in_size, kernel_h=5, kernel_w=5, padding=2,
+    )
+    layers.append(conv1)
+    layers.append(EwopLayer("relu1", op="relu",
+                            n_elements=8 * conv1.out_h * conv1.out_w))
+    layers.append(PoolLayer("pool1", 8, conv1.out_h, conv1.out_w,
+                            kernel=2, stride=2))
+    size = conv1.out_h // 2
+
+    conv2 = ConvLayer(
+        name="conv2", in_channels=8, out_channels=16,
+        in_h=size, in_w=size, kernel_h=5, kernel_w=5, padding=2,
+    )
+    layers.append(conv2)
+    layers.append(EwopLayer("relu2", op="relu",
+                            n_elements=16 * conv2.out_h * conv2.out_w))
+    layers.append(PoolLayer("pool2", 16, conv2.out_h, conv2.out_w,
+                            kernel=2, stride=2))
+    size = conv2.out_h // 2
+
+    layers.append(MatMulLayer("fc", in_features=16 * size * size,
+                              out_features=10))
+    layers.append(EwopLayer("softmax", op="softmax", n_elements=10,
+                            ops_per_element=3))
+    return Network(name="SmallCNN", application="demo", layers=tuple(layers))

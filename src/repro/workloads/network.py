@@ -1,0 +1,117 @@
+"""Whole-network container and operation accounting (Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.units import BYTES_PER_WORD
+from repro.workloads.layers import ConvLayer, EwopLayer, LayerKind, MatMulLayer
+
+AcceleratedLayer = ConvLayer | MatMulLayer
+AnyLayer = ConvLayer | MatMulLayer | EwopLayer
+
+
+@dataclass(frozen=True)
+class OpBreakdown:
+    """Operation counts by category for one network (one inference pass)."""
+
+    conv_ops: int
+    mm_ops: int
+    ewop_ops: int
+
+    @property
+    def total_ops(self) -> int:
+        return self.conv_ops + self.mm_ops + self.ewop_ops
+
+    @property
+    def conv_fraction(self) -> float:
+        return self.conv_ops / self.total_ops if self.total_ops else 0.0
+
+    @property
+    def mm_fraction(self) -> float:
+        return self.mm_ops / self.total_ops if self.total_ops else 0.0
+
+    @property
+    def ewop_fraction(self) -> float:
+        return self.ewop_ops / self.total_ops if self.total_ops else 0.0
+
+
+@dataclass(frozen=True)
+class Network:
+    """An ordered list of layers forming one inference workload.
+
+    Attributes:
+        name: Model name (e.g. ``"GoogLeNet"``).
+        application: Table I application label.
+        layers: All layers in execution order, including EWOP entries.
+    """
+
+    name: str
+    application: str
+    layers: tuple[AnyLayer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise WorkloadError(f"network {self.name!r} has no layers")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise WorkloadError(
+                f"network {self.name!r} has duplicate layer names: {duplicates}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def accelerated_layers(self) -> list[AcceleratedLayer]:
+        """CONV and MM layers, the ones FTDL schedules (in order)."""
+        return [
+            layer for layer in self.layers
+            if layer.kind in (LayerKind.CONV, LayerKind.MM)
+        ]
+
+    def ewop_layers(self) -> list[EwopLayer]:
+        return [layer for layer in self.layers if layer.kind == LayerKind.EWOP]
+
+    def op_breakdown(self) -> OpBreakdown:
+        """Per-category operation counts (the Table I percentages)."""
+        conv = sum(l.ops for l in self.layers if l.kind == LayerKind.CONV)
+        mm = sum(l.ops for l in self.layers if l.kind == LayerKind.MM)
+        ewop = sum(l.ops for l in self.layers if l.kind == LayerKind.EWOP)
+        return OpBreakdown(conv_ops=conv, mm_ops=mm, ewop_ops=ewop)
+
+    @property
+    def weight_words(self) -> int:
+        """Unique 16-bit weight words across the whole model.
+
+        Layers sharing a ``weight_group`` (e.g. the per-timestep MM layers
+        of an unrolled LSTM) are counted once; the group members must agree
+        on their weight size.
+        """
+        seen: dict[str, int] = {}
+        for layer in self.layers:
+            if layer.kind == LayerKind.EWOP:
+                continue
+            key = getattr(layer, "weight_group", None) or layer.name
+            words = layer.weight_words
+            if key in seen and seen[key] != words:
+                raise WorkloadError(
+                    f"weight group {key!r} has inconsistent sizes "
+                    f"({seen[key]} vs {words} words)"
+                )
+            seen[key] = words
+        return sum(seen.values())
+
+    @property
+    def weight_bytes(self) -> int:
+        """Model size in bytes at 16-bit quantization (Table I column)."""
+        return self.weight_words * BYTES_PER_WORD
+
+    @property
+    def accelerated_ops(self) -> int:
+        """Operations FTDL executes (CONV + MM), per inference."""
+        breakdown = self.op_breakdown()
+        return breakdown.conv_ops + breakdown.mm_ops
+
+    @property
+    def accelerated_maccs(self) -> int:
+        return self.accelerated_ops // 2

@@ -1,0 +1,85 @@
+"""Shared fixtures: small overlays and layers that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+@pytest.fixture
+def tiny_config() -> OverlayConfig:
+    """A 3x2x2 overlay with small buffers — fully simulatable."""
+    return OverlayConfig(
+        d1=3, d2=2, d3=2,
+        s_actbuf_words=64,
+        s_wbuf_words=256,
+        s_psumbuf_words=512,
+        clk_h_mhz=650.0,
+    )
+
+
+@pytest.fixture
+def small_config() -> OverlayConfig:
+    """A 4x3x4 overlay, still cheap to search."""
+    return OverlayConfig(
+        d1=4, d2=3, d3=4,
+        s_actbuf_words=128,
+        s_wbuf_words=1024,
+        s_psumbuf_words=2048,
+        clk_h_mhz=650.0,
+    )
+
+
+@pytest.fixture
+def small_conv() -> ConvLayer:
+    return ConvLayer(
+        name="conv",
+        in_channels=6,
+        out_channels=8,
+        in_h=8,
+        in_w=8,
+        kernel_h=3,
+        kernel_w=3,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def strided_conv() -> ConvLayer:
+    return ConvLayer(
+        name="strided",
+        in_channels=4,
+        out_channels=6,
+        in_h=11,
+        in_w=11,
+        kernel_h=3,
+        kernel_w=3,
+        stride=2,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def pointwise_conv() -> ConvLayer:
+    return ConvLayer(
+        name="pw",
+        in_channels=10,
+        out_channels=12,
+        in_h=6,
+        in_w=6,
+        kernel_h=1,
+        kernel_w=1,
+    )
+
+
+@pytest.fixture
+def small_mm() -> MatMulLayer:
+    return MatMulLayer(name="mm", in_features=24, out_features=10, batch=4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2020)

@@ -1,0 +1,190 @@
+"""Analysis layer: network evaluation, roofline, Table II, ASCII plots."""
+
+import pytest
+
+from repro.analysis.ascii_plot import line_plot, scatter_plot
+from repro.analysis.comparison import build_table2, format_table2
+from repro.analysis.efficiency import evaluate_network
+from repro.analysis.roofline import ridge_intensity, roof_curve, roofline_points
+from repro.compiler.search import ScheduleSearch
+from repro.errors import FTDLError
+from repro.fpga.devices import get_device
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
+from repro.workloads.network import Network
+
+
+@pytest.fixture
+def config():
+    return OverlayConfig(
+        d1=4, d2=2, d3=4, s_actbuf_words=128,
+        s_wbuf_words=1024, s_psumbuf_words=2048, clk_h_mhz=650.0,
+    )
+
+
+@pytest.fixture
+def mini_net():
+    return Network(
+        name="MiniNet",
+        application="test",
+        layers=(
+            ConvLayer("c1", 3, 8, in_h=16, in_w=16, kernel_h=3, kernel_w=3, padding=1),
+            EwopLayer("r1", op="relu", n_elements=8 * 16 * 16),
+            ConvLayer("c2", 8, 16, in_h=16, in_w=16, kernel_h=3, kernel_w=3, padding=1),
+            EwopLayer("r2", op="relu", n_elements=16 * 16 * 16),
+            MatMulLayer("fc", in_features=16 * 16 * 16, out_features=10),
+        ),
+    )
+
+
+class TestNetworkEvaluation:
+    def test_totals_sum_layers(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        assert result.total_cycles == sum(l.cycles for l in result.layers)
+        assert len(result.layers) == 3
+
+    def test_fps_and_seconds_consistent(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        assert result.fps == pytest.approx(1.0 / result.seconds_per_frame)
+
+    def test_network_efficiency_bounded(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        assert 0.0 < result.hardware_efficiency <= 1.0
+
+    def test_attained_gops_below_peak(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        assert result.attained_gops < config.peak_gops
+
+    def test_mean_e_wbuf_in_unit_interval(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        assert 0.0 < result.mean_e_wbuf <= 1.0
+
+    def test_host_ewop_matches_breakdown(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        assert result.host_ewop_ops == mini_net.op_breakdown().ewop_ops
+
+    def test_dram_trace_nonempty(self, mini_net, config):
+        result = evaluate_network(mini_net, config)
+        trace = result.dram_trace()
+        assert trace.total_words("RD") > 0
+        assert trace.total_words("WR") > 0
+
+    def test_describe(self, mini_net, config):
+        assert "MiniNet" in evaluate_network(mini_net, config).describe()
+
+
+class TestRoofline:
+    def test_points_from_topk(self, config):
+        layer = ConvLayer("c", 8, 16, in_h=12, in_w=12, kernel_h=3, kernel_w=3, padding=1)
+        schedules = ScheduleSearch(layer, config, top_k=20).run()
+        points = roofline_points(schedules)
+        assert len(points) == 20
+        for point in points:
+            assert point.attained_gops <= config.peak_gops * 1.001
+            assert 0.0 < point.e_wbuf <= 1.0
+            assert point.intensity_ops_per_byte > 0
+
+    def test_points_below_roof(self, config):
+        """No schedule may beat the roofline itself."""
+        layer = ConvLayer("c", 8, 16, in_h=12, in_w=12, kernel_h=3, kernel_w=3, padding=1)
+        points = roofline_points(ScheduleSearch(layer, config, top_k=10).run())
+        for point in points:
+            roof = min(
+                config.peak_gops,
+                point.intensity_ops_per_byte * config.dram_rd_gbps,
+            )
+            assert point.attained_gops <= roof * 1.05
+
+    def test_roof_curve_shape(self, config):
+        curve = roof_curve(config, [0.1, 1.0, 10.0, 1000.0])
+        ys = [y for _, y in curve]
+        assert ys == sorted(ys)
+        assert ys[-1] == config.peak_gops
+
+    def test_ridge_point(self, config):
+        ridge = ridge_intensity(config)
+        (x_lo, y_lo), = roof_curve(config, [ridge])
+        assert y_lo == pytest.approx(config.peak_gops)
+
+    def test_empty_intensities_rejected(self, config):
+        with pytest.raises(FTDLError):
+            roof_curve(config, [])
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        config = OverlayConfig(
+            d1=4, d2=2, d3=4, s_actbuf_words=128,
+            s_wbuf_words=1024, s_psumbuf_words=2048, clk_h_mhz=650.0,
+        )
+        net = Network(
+            name="MiniNet",
+            application="test",
+            layers=(
+                ConvLayer("c1", 3, 8, in_h=16, in_w=16, kernel_h=3,
+                          kernel_w=3, padding=1),
+                ConvLayer("c2", 8, 16, in_h=16, in_w=16, kernel_h=3,
+                          kernel_w=3, padding=1),
+            ),
+        )
+        results = {"MiniNet": evaluate_network(net, config)}
+        return build_table2(results, get_device("vu125"))
+
+    def test_eleven_rows(self, rows):
+        assert len(rows) == 11
+        assert rows[-1].key == "FTDL"
+
+    def test_ftdl_frequency_dominates(self, rows):
+        ftdl = rows[-1]
+        assert all(ftdl.dsp_freq_mhz > r.dsp_freq_mhz for r in rows[:-1])
+
+    def test_speedups_relative_to_first_row(self, rows):
+        baseline = rows[0]
+        assert baseline.speedup_over(baseline, "MiniNet") == pytest.approx(1.0)
+        for row in rows:
+            expected = row.fps["MiniNet"] / baseline.fps["MiniNet"]
+            assert row.speedup_over(baseline, "MiniNet") == pytest.approx(expected)
+
+    def test_ftdl_power_efficiency_positive(self, rows):
+        assert rows[-1].gops_per_watt > 0
+
+    def test_format_renders_all_rows(self, rows):
+        text = format_table2(rows, ["MiniNet"])
+        assert text.count("\n") == len(rows)
+        assert "FTDL" in text and "N/A" in text
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(FTDLError):
+            build_table2({}, get_device("vu125"))
+
+
+class TestAsciiPlots:
+    def test_scatter_renders(self):
+        text = scatter_plot([1, 2, 3], [1, 4, 9], title="squares")
+        assert "squares" in text
+        assert text.count("o") == 3
+
+    def test_scatter_log_axis(self):
+        text = scatter_plot([1, 10, 100], [1, 2, 3], log_x=True)
+        assert "(log)" in text
+
+    def test_scatter_custom_markers(self):
+        text = scatter_plot([1, 2], [1, 2], markers=["A", "B"])
+        assert "A" in text and "B" in text
+
+    def test_scatter_rejects_mismatched(self):
+        with pytest.raises(FTDLError):
+            scatter_plot([1, 2], [1])
+
+    def test_scatter_log_rejects_nonpositive(self):
+        with pytest.raises(FTDLError):
+            scatter_plot([0, 1], [1, 2], log_x=True)
+
+    def test_line_plot_legend(self):
+        text = line_plot([1, 2, 3], {"ftdl": [650, 655, 652], "sys": [400, 300, 200]})
+        assert "o=ftdl" in text and "x=sys" in text
+
+    def test_line_plot_rejects_ragged(self):
+        with pytest.raises(FTDLError):
+            line_plot([1, 2], {"a": [1]})

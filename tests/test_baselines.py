@@ -1,0 +1,92 @@
+"""Prior-work registry and the implemented systolic comparator."""
+
+import pytest
+
+from repro.baselines.priorworks import PRIOR_WORKS, prior_work
+from repro.baselines.systolic import SystolicArray
+from repro.errors import FTDLError, ScheduleError
+from repro.fpga.devices import get_device
+from repro.workloads.layers import ConvLayer, MatMulLayer
+from repro.workloads.mlperf import build_model
+
+
+class TestPriorWorks:
+    def test_ten_works_in_paper_order(self):
+        keys = [w.key for w in PRIOR_WORKS]
+        assert keys == [
+            "[10]", "[2]", "[3]", "[4]", "[5]",
+            "[7]", "[8]", "[21]", "[1]", "[9]",
+        ]
+
+    def test_lookup(self):
+        assert prior_work("[9]").dsp_freq_mhz == 240.0
+
+    def test_unknown_key(self):
+        with pytest.raises(FTDLError, match="unknown prior work"):
+            prior_work("[99]")
+
+    def test_fps_formula_reproduces_table2_googlenet(self):
+        """Paper Table II: [10] achieves 52.0 GoogLeNet FPS at 1200 DSPs.
+        The paper's ops number implies ~3.14 GOP/frame."""
+        fps = prior_work("[10]").fps(n_dsp=1200, model_ops=3_140_000_000)
+        assert fps == pytest.approx(52.0, rel=0.02)
+
+    def test_fps_formula_reproduces_table2_wei(self):
+        fps = prior_work("[9]").fps(n_dsp=1200, model_ops=3_140_000_000)
+        assert fps == pytest.approx(163.3, rel=0.02)
+
+    def test_all_16_bit(self):
+        assert all(w.quantization_bits == 16 for w in PRIOR_WORKS)
+
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(FTDLError):
+            prior_work("[10]").fps(1200, 0)
+
+
+class TestSystolicArray:
+    @pytest.fixture
+    def vu125(self):
+        return get_device("vu125")
+
+    def test_fmax_below_250_at_scale(self, vu125):
+        """The §I claim: a boundary-fed 1024-PE array lands below the
+        250 MHz ceiling of prior designs."""
+        array = SystolicArray(vu125, 32, 32)
+        assert array.fmax_mhz < 250.0
+
+    def test_small_array_faster_clock(self, vu125):
+        small = SystolicArray(vu125, 8, 8)
+        large = SystolicArray(vu125, 32, 32)
+        assert small.fmax_mhz > large.fmax_mhz
+
+    def test_layer_cycles_account_fill_and_drain(self, vu125):
+        array = SystolicArray(vu125, 4, 4)
+        layer = MatMulLayer("mm", in_features=8, out_features=8, batch=100)
+        # 2 K-tiles x 2 M-tiles x (4 fill + 100 stream + 8 drain).
+        assert array.layer_cycles(layer) == 2 * 2 * (4 + 100 + 8)
+
+    def test_conv_lowered_by_im2col(self, vu125):
+        array = SystolicArray(vu125, 8, 8)
+        conv = ConvLayer("c", 4, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3, padding=1)
+        run = array.run_layer(conv)
+        assert run.useful_maccs == conv.maccs
+        assert 0.0 < run.hardware_efficiency <= 1.0
+
+    def test_network_run_sums_layers(self, vu125):
+        array = SystolicArray(vu125, 16, 16)
+        net = build_model("AlphaGoZero")
+        total = sum(array.layer_cycles(l) for l in net.accelerated_layers())
+        assert array.run_network(net).cycles == total
+
+    def test_gops_consistent(self, vu125):
+        array = SystolicArray(vu125, 16, 16)
+        run = array.run_layer(
+            MatMulLayer("mm", in_features=64, out_features=64, batch=64)
+        )
+        assert run.gops == pytest.approx(
+            2 * run.useful_maccs / run.seconds / 1e9
+        )
+
+    def test_invalid_shape_rejected(self, vu125):
+        with pytest.raises(ScheduleError):
+            SystolicArray(vu125, 0, 4)

@@ -1,0 +1,80 @@
+"""Adjacency matrices (Fig. 5) and their hardware rationale."""
+
+import pytest
+
+from repro.compiler.adjacency import adjacency_matrix, needs_ewop_reduction
+from repro.errors import MappingError
+from repro.workloads.layers import EwopLayer
+
+
+class TestConvAdjacency:
+    @pytest.fixture
+    def matrix(self, small_conv):
+        return adjacency_matrix(small_conv)
+
+    def test_d1_takes_reductions_only(self, matrix):
+        assert matrix["D1"] == {"M": 0, "N": 1, "H": 0, "W": 0, "R": 1, "S": 1}
+
+    def test_d2_takes_output_channels_only(self, matrix):
+        """SIMD columns share activations, differ in weights: only M."""
+        assert matrix["D2"]["M"] == 1
+        assert sum(matrix["D2"].values()) == 1
+
+    def test_d3_unrestricted(self, matrix):
+        assert all(matrix["D3"].values())
+
+    def test_l_takes_reductions_only(self, matrix):
+        assert matrix["L"] == {"M": 0, "N": 1, "H": 0, "W": 0, "R": 1, "S": 1}
+
+    def test_x_and_t_unrestricted(self, matrix):
+        assert all(matrix["X"].values())
+        assert all(matrix["T"].values())
+
+    def test_matches_paper_printed_slice(self, matrix):
+        """Fig. 5(b) prints the (M, N, W) columns; every printed entry."""
+        printed = {
+            "D1": (0, 1, 0), "D2": (1, 0, 0), "D3": (1, 1, 1),
+            "X": (1, 1, 1), "L": (0, 1, 0), "T": (1, 1, 1),
+        }
+        for level, (m, n, w) in printed.items():
+            assert (matrix[level]["M"], matrix[level]["N"], matrix[level]["W"]) == (m, n, w)
+
+
+class TestMMAdjacency:
+    @pytest.fixture
+    def matrix(self, small_mm):
+        return adjacency_matrix(small_mm)
+
+    def test_matches_paper_fig5a(self, matrix):
+        printed = {
+            "D1": (1, 0, 0), "D2": (0, 1, 0), "D3": (1, 1, 1),
+            "X": (1, 1, 1), "L": (1, 0, 1), "T": (1, 1, 1),
+        }
+        for level, (m, n, p) in printed.items():
+            assert (matrix[level]["M"], matrix[level]["N"], matrix[level]["P"]) == (m, n, p)
+
+    def test_returns_copies(self, small_mm):
+        a = adjacency_matrix(small_mm)
+        a["D1"]["N"] = 1
+        assert adjacency_matrix(small_mm)["D1"]["N"] == 0
+
+
+class TestEwopFlag:
+    def test_reduction_on_d3_needs_ewop(self, small_conv):
+        assert needs_ewop_reduction(small_conv, {"N": 2})
+        assert needs_ewop_reduction(small_conv, {"R": 3})
+
+    def test_output_loops_on_d3_do_not(self, small_conv):
+        assert not needs_ewop_reduction(small_conv, {"M": 4, "H": 2})
+
+    def test_trip_one_is_free(self, small_conv):
+        assert not needs_ewop_reduction(small_conv, {"N": 1})
+
+    def test_mm_reduction_is_m(self, small_mm):
+        assert needs_ewop_reduction(small_mm, {"M": 2})
+        assert not needs_ewop_reduction(small_mm, {"N": 2, "P": 2})
+
+
+def test_ewop_layer_has_no_adjacency():
+    with pytest.raises(MappingError, match="no adjacency"):
+        adjacency_matrix(EwopLayer("e", op="relu", n_elements=1))

@@ -1,0 +1,97 @@
+"""Feasibility checking (Eqns 10-11 + adjacency + capacities)."""
+
+import pytest
+
+from repro.compiler.constraints import check_constraints
+from repro.compiler.mapping import MappingVectors
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer
+
+
+@pytest.fixture
+def config():
+    return OverlayConfig(
+        d1=4, d2=2, d3=2,
+        s_actbuf_words=64, s_wbuf_words=64, s_psumbuf_words=128,
+    )
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("c", 8, 4, in_h=8, in_w=8, kernel_h=3, kernel_w=3, padding=1)
+
+
+CONV_LOOPS = ("M", "N", "H", "W", "R", "S")
+
+
+def _mapping(partial) -> MappingVectors:
+    return MappingVectors.from_partial(CONV_LOOPS, partial)
+
+
+class TestCheckConstraints:
+    def test_feasible_mapping_passes(self, config, layer):
+        mapping = _mapping({
+            "D1": {"N": 4}, "D2": {"M": 2}, "D3": {"H": 2},
+            "X": {"M": 2, "N": 2, "H": 4, "R": 3, "S": 3},
+            "T": {"W": 8},
+        })
+        assert check_constraints(layer, config, mapping) == []
+
+    def test_adjacency_violation(self, config, layer):
+        mapping = _mapping({
+            "D1": {"H": 2},  # H is not a reduction loop
+            "X": {"M": 8, "N": 8, "H": 4, "W": 8, "R": 3, "S": 3},
+        })
+        violations = check_constraints(layer, config, mapping)
+        assert any("adjacency" in v for v in violations)
+
+    def test_eqn10_spatial_overflow(self, config, layer):
+        mapping = _mapping({
+            "D1": {"N": 8},  # exceeds d1 = 4
+            "X": {"M": 8, "H": 8, "W": 8, "R": 3, "S": 3},
+        })
+        violations = check_constraints(layer, config, mapping)
+        assert any("spatial level D1" in v for v in violations)
+
+    def test_eqn11_coverage(self, config, layer):
+        mapping = _mapping({"X": {"M": 8, "N": 8, "H": 8, "W": 8, "R": 3}})
+        violations = check_constraints(layer, config, mapping)
+        assert any("loop S covered" in v for v in violations)
+
+    def test_actbuf_capacity(self, config, layer):
+        mapping = _mapping({
+            "T": {"N": 8, "W": 8, "R": 3, "S": 3},  # footprint 8*3*10 = 240
+            "X": {"M": 8, "H": 8},
+        })
+        violations = check_constraints(layer, config, mapping)
+        assert any("ActBUF" in v for v in violations)
+
+    def test_wbuf_capacity(self, config, layer):
+        mapping = _mapping({
+            "L": {"N": 8, "R": 3, "S": 3},
+            "T": {"M": 4, "W": 2},  # pass slice 4*8*9 = 288 > 64
+            "X": {"H": 8, "W": 4, "M": 1},
+        })
+        violations = check_constraints(layer, config, mapping)
+        assert any("WBUF" in v for v in violations)
+
+    def test_psumbuf_capacity(self, config, layer):
+        mapping = _mapping({
+            "T": {"M": 4, "H": 4, "W": 8},  # out tile 128 > 64 usable
+            "X": {"M": 2, "N": 8, "H": 2, "R": 3, "S": 3},
+        })
+        violations = check_constraints(layer, config, mapping)
+        assert any("PSumBUF" in v for v in violations)
+
+    def test_wrong_loop_names_short_circuits(self, config, layer):
+        mapping = MappingVectors.from_partial(("M", "N", "P"), {})
+        violations = check_constraints(layer, config, mapping)
+        assert len(violations) == 1
+        assert "mapping loops" in violations[0]
+
+    def test_multiple_violations_all_reported(self, config, layer):
+        mapping = _mapping({
+            "D1": {"H": 8},  # adjacency + spatial overflow + coverage gaps
+        })
+        violations = check_constraints(layer, config, mapping)
+        assert len(violations) >= 3

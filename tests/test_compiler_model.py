@@ -1,0 +1,196 @@
+"""Analytical model: Eqns 7-9, 12-13 plus the streaming/stall refinements."""
+
+import pytest
+
+from repro.compiler.mapping import MappingVectors
+from repro.compiler.model import evaluate_mapping
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+@pytest.fixture
+def config():
+    return OverlayConfig(
+        d1=4, d2=2, d3=2,
+        s_actbuf_words=128, s_wbuf_words=1024, s_psumbuf_words=2048,
+        clk_h_mhz=650.0,
+    )
+
+
+def _conv_mapping(layer: ConvLayer) -> MappingVectors:
+    return MappingVectors.from_partial(
+        ("M", "N", "H", "W", "R", "S"),
+        {
+            "D1": {"N": 4},
+            "D2": {"M": 2},
+            "D3": {"H": 2},
+            "X": {"M": 2},
+            "L": {"R": 3, "S": 3},
+            "T": {"N": 2, "H": 4, "W": 8},
+        },
+    )
+
+
+@pytest.fixture
+def conv_layer():
+    return ConvLayer("c", 8, 4, in_h=8, in_w=8, kernel_h=3, kernel_w=3, padding=1)
+
+
+class TestComputeTime:
+    def test_eqn7(self, config, conv_layer):
+        mapping = _conv_mapping(conv_layer)
+        est = evaluate_mapping(conv_layer, config, mapping)
+        x, l, t = mapping.x, mapping.l, mapping.t
+        assert est.c_comp == x * (l * t + config.pipeline_latency)
+        assert not est.weight_stalled
+
+    def test_pipeline_latency_is_d1_plus_6(self, config):
+        assert config.pipeline_latency == 10
+
+    def test_weight_stall_batch1_mm(self, config):
+        """A batch-1 MM cannot reuse weights over two CLK_h cycles."""
+        layer = MatMulLayer("fc", in_features=16, out_features=8, batch=1)
+        mapping = MappingVectors.from_partial(
+            ("M", "N", "P"),
+            {"D1": {"M": 4}, "D2": {"N": 2}, "T": {"M": 4, "N": 4}},
+        )
+        est = evaluate_mapping(layer, config, mapping)
+        assert est.weight_stalled
+        assert est.c_comp == 1 * (16 * 2 + config.pipeline_latency)
+
+    def test_batch2_mm_not_stalled(self, config):
+        layer = MatMulLayer("fc", in_features=16, out_features=8, batch=2)
+        mapping = MappingVectors.from_partial(
+            ("M", "N", "P"),
+            {"D1": {"M": 4}, "D2": {"N": 2}, "T": {"M": 4, "N": 4, "P": 2}},
+        )
+        est = evaluate_mapping(layer, config, mapping)
+        assert not est.weight_stalled
+
+
+class TestBusAndDram:
+    def test_actbus_charges_row_tile(self, config, conv_layer):
+        mapping = _conv_mapping(conv_layer)
+        est = evaluate_mapping(conv_layer, config, mapping)
+        f_act = conv_layer.act_footprint(mapping.tile(("T", "D1")))
+        expected = -(-mapping.x * mapping.l * f_act // config.actbus_wpc)
+        assert est.c_actbus == int(expected)
+
+    def test_psumbus_eqn9(self, config, conv_layer):
+        mapping = _conv_mapping(conv_layer)
+        est = evaluate_mapping(conv_layer, config, mapping)
+        f_psum = conv_layer.out_footprint(mapping.tile(("T", "L")))
+        used_d3 = mapping.level_product("D3")
+        expected = -(-mapping.x * used_d3 * f_psum
+                     // config.psumbus_words_per_cycle)
+        assert est.c_psumbus == int(expected)
+
+    def test_multipass_doubles_psum_traffic(self, config):
+        """A reduction loop at X forces fetch + store per pass."""
+        layer = ConvLayer("c", 8, 4, in_h=4, in_w=4, kernel_h=1, kernel_w=1)
+        base = MappingVectors.from_partial(
+            ("M", "N", "H", "W", "R", "S"),
+            {"T": {"H": 4, "W": 4}, "X": {"M": 4}, "L": {"N": 8}},
+        )
+        multi = MappingVectors.from_partial(
+            ("M", "N", "H", "W", "R", "S"),
+            {"T": {"H": 4, "W": 4}, "X": {"M": 4, "N": 8}},
+        )
+        est_base = evaluate_mapping(layer, config, base)
+        est_multi = evaluate_mapping(layer, config, multi)
+        # Base (reduction fully inside LoopL): one store per pass.
+        f_psum = 16
+        assert est_base.c_psumbus == int(
+            -(-base.x * f_psum // config.psumbus_words_per_cycle)
+        )
+        # Multipass (reduction split at X): fetch + store per pass.
+        assert est_multi.c_psumbus == int(
+            -(-multi.x * f_psum * 2 // config.psumbus_words_per_cycle)
+        )
+
+    def test_weight_streaming_in_dram_read(self, config, conv_layer):
+        """Stored weights (including duplication) cross DRAM once."""
+        mapping = _conv_mapping(conv_layer)
+        est = evaluate_mapping(conv_layer, config, mapping)
+        stored = mapping.used_tpes() * conv_layer.weight_footprint(
+            mapping.tile(("X", "L", "T"))
+        )
+        act = mapping.x * mapping.l * conv_layer.act_footprint(
+            mapping.tile(("T", "D1", "D3"))
+        )
+        expected = -(-(stored + act) // config.dram_rd_words_per_cycle())
+        assert est.c_dram_rd == int(expected)
+
+
+class TestEwbufAndObjectives:
+    def test_e_wbuf_perfect_when_spatial_maps_weights(self, config):
+        layer = ConvLayer("c", 8, 8, in_h=4, in_w=4, kernel_h=1, kernel_w=1)
+        mapping = MappingVectors.from_partial(
+            ("M", "N", "H", "W", "R", "S"),
+            {"D1": {"N": 4}, "D2": {"M": 2}, "X": {"M": 4, "N": 2},
+             "T": {"H": 4, "W": 4}},
+        )
+        est = evaluate_mapping(layer, config, mapping)
+        assert est.e_wbuf == pytest.approx(1.0)
+
+    def test_e_wbuf_duplication_from_spatial_output_split(self, config):
+        """Splitting H across D3 duplicates the weights across rows."""
+        layer = ConvLayer("c", 8, 8, in_h=4, in_w=4, kernel_h=1, kernel_w=1)
+        mapping = MappingVectors.from_partial(
+            ("M", "N", "H", "W", "R", "S"),
+            {"D1": {"N": 4}, "D2": {"M": 2}, "D3": {"H": 2},
+             "X": {"M": 4, "N": 2}, "T": {"H": 2, "W": 4}},
+        )
+        est = evaluate_mapping(layer, config, mapping)
+        assert est.e_wbuf == pytest.approx(0.5)
+
+    def test_ewop_flag_for_d3_reduction(self, config):
+        layer = ConvLayer("c", 8, 8, in_h=4, in_w=4, kernel_h=1, kernel_w=1)
+        mapping = MappingVectors.from_partial(
+            ("M", "N", "H", "W", "R", "S"),
+            {"D3": {"N": 2}, "X": {"M": 8, "N": 4}, "T": {"H": 4, "W": 4}},
+        )
+        est = evaluate_mapping(layer, config, mapping)
+        assert est.ewop_accumulate
+
+    def test_c_exe_is_max_with_double_buffer(self, config, conv_layer):
+        est = evaluate_mapping(conv_layer, config, _conv_mapping(conv_layer))
+        assert est.c_exe == max(
+            est.c_comp, est.c_actbus, est.c_psumbus, est.c_dram_rd, est.c_dram_wr
+        )
+
+    def test_c_exe_is_sum_without_double_buffer(self, conv_layer):
+        config = OverlayConfig(
+            d1=4, d2=2, d3=2, s_actbuf_words=128, s_wbuf_words=1024,
+            s_psumbuf_words=2048, double_buffer=False,
+        )
+        est = evaluate_mapping(conv_layer, config, _conv_mapping(conv_layer))
+        assert est.c_exe == (
+            est.c_comp + est.c_actbus + est.c_psumbus
+            + est.c_dram_rd + est.c_dram_wr
+        )
+
+    def test_efficiency_bounded_by_one(self, config, conv_layer):
+        est = evaluate_mapping(conv_layer, config, _conv_mapping(conv_layer))
+        assert 0.0 < est.hardware_efficiency <= 1.0
+
+    def test_score_components(self, config, conv_layer):
+        est = evaluate_mapping(conv_layer, config, _conv_mapping(conv_layer))
+        assert est.score == pytest.approx(est.c_exe_min / est.c_exe + est.e_wbuf)
+        assert 0.0 < est.score <= 2.0
+
+    def test_bottleneck_names_the_max(self, config, conv_layer):
+        est = evaluate_mapping(conv_layer, config, _conv_mapping(conv_layer))
+        named = {
+            "compute": est.c_comp, "actbus": est.c_actbus,
+            "psumbus": est.c_psumbus, "dram_rd": est.c_dram_rd,
+            "dram_wr": est.c_dram_wr,
+        }
+        assert named[est.bottleneck] == max(named.values())
+
+    def test_gops_at_clock(self, config, conv_layer):
+        est = evaluate_mapping(conv_layer, config, _conv_mapping(conv_layer))
+        gops = est.gops_at(650.0)
+        assert gops == pytest.approx(
+            2 * est.useful_maccs * 650e6 / est.c_exe / 1e9
+        )

@@ -1,0 +1,184 @@
+"""The mapping-vector search: feasibility, optimality ordering, objectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.constraints import check_constraints
+from repro.compiler.model import evaluate_mapping
+from repro.compiler.search import (
+    ScheduleSearch,
+    ceil_tile_candidates,
+    schedule_layer,
+)
+from repro.errors import ScheduleError
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+class TestCeilTileCandidates:
+    @pytest.mark.parametrize(
+        "size,cap,expected",
+        [
+            (8, 8, [1, 2, 3, 4, 8]),
+            (1, 8, [1]),
+            (7, 3, [1, 2, 3]),
+            (14, 20, [1, 2, 3, 4, 5, 7, 14]),
+        ],
+    )
+    def test_values(self, size, cap, expected):
+        assert ceil_tile_candidates(size, cap) == expected
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ScheduleError):
+            ceil_tile_candidates(0, 4)
+
+    @given(size=st.integers(1, 500), cap=st.integers(1, 500))
+    @settings(max_examples=200, deadline=None)
+    def test_every_candidate_is_a_ceil_divisor(self, size, cap):
+        for tile in ceil_tile_candidates(size, cap):
+            assert 1 <= tile <= min(size, cap)
+            m = -(-size // tile)
+            assert -(-size // m) == tile  # tile is the minimal cover for m
+
+    @given(size=st.integers(1, 300))
+    @settings(max_examples=100, deadline=None)
+    def test_contains_one_and_terminates(self, size):
+        values = ceil_tile_candidates(size, size)
+        assert values[0] == 1
+        assert values[-1] == size
+
+
+class TestSearchBasics:
+    def test_winner_is_feasible(self, small_conv, tiny_config):
+        schedule = schedule_layer(small_conv, tiny_config)
+        assert check_constraints(small_conv, tiny_config, schedule.mapping) == []
+
+    def test_winner_covers_all_maccs(self, small_conv, tiny_config):
+        schedule = schedule_layer(small_conv, tiny_config)
+        padded = schedule.mapping.padded_sizes()
+        for name, size in small_conv.loop_sizes.items():
+            assert padded[name] >= size
+
+    def test_topk_sorted_best_first(self, small_conv, tiny_config):
+        schedules = ScheduleSearch(
+            small_conv, tiny_config, top_k=10
+        ).run()
+        cycles = [s.cycles for s in schedules]
+        assert cycles == sorted(cycles)
+        assert len(schedules) == 10
+
+    def test_estimates_match_authoritative_model(self, small_conv, tiny_config):
+        """The fast pricing path must agree with evaluate_mapping."""
+        for schedule in ScheduleSearch(small_conv, tiny_config, top_k=5).run():
+            authoritative = evaluate_mapping(
+                small_conv, tiny_config, schedule.mapping
+            )
+            assert schedule.estimate.c_exe == authoritative.c_exe
+            assert schedule.estimate.e_wbuf == pytest.approx(authoritative.e_wbuf)
+
+    def test_mm_layer_schedules(self, small_mm, tiny_config):
+        schedule = schedule_layer(small_mm, tiny_config)
+        assert schedule.estimate.hardware_efficiency > 0.0
+
+    def test_pointwise_conv_schedules(self, pointwise_conv, tiny_config):
+        schedule = schedule_layer(pointwise_conv, tiny_config)
+        assert check_constraints(
+            pointwise_conv, tiny_config, schedule.mapping
+        ) == []
+
+    def test_strided_conv_schedules(self, strided_conv, tiny_config):
+        schedule = schedule_layer(strided_conv, tiny_config)
+        assert schedule.estimate.useful_maccs == strided_conv.maccs
+
+    def test_single_tpe_config(self, small_mm):
+        config = OverlayConfig(
+            d1=1, d2=1, d3=1, s_actbuf_words=64,
+            s_wbuf_words=512, s_psumbuf_words=128,
+        )
+        schedule = schedule_layer(small_mm, config)
+        # One TPE: at least maccs cycles (double-pump stall may double it).
+        assert schedule.cycles >= small_mm.maccs
+
+    def test_unknown_objective_rejected(self, small_mm, tiny_config):
+        with pytest.raises(ScheduleError, match="unknown objective"):
+            ScheduleSearch(small_mm, tiny_config, objective="fastest")
+
+    def test_bad_topk_rejected(self, small_mm, tiny_config):
+        with pytest.raises(ScheduleError, match="top_k"):
+            ScheduleSearch(small_mm, tiny_config, top_k=0)
+
+    def test_describe_is_informative(self, small_conv, tiny_config):
+        text = schedule_layer(small_conv, tiny_config).describe()
+        assert "cycles" in text and "E_WBUF" in text
+
+
+class TestObjectives:
+    def test_balance_improves_e_wbuf(self, tiny_config):
+        """Objective 2 trades a little time for much better WBUF use
+        (the Fig. 7(a) vs (b) contrast) — never a worse score."""
+        layer = ConvLayer(
+            "c", 8, 16, in_h=12, in_w=12, kernel_h=3, kernel_w=3, padding=1
+        )
+        perf = schedule_layer(layer, tiny_config, objective="performance")
+        bal = schedule_layer(layer, tiny_config, objective="balance")
+        assert bal.estimate.score >= perf.estimate.score
+        assert bal.estimate.e_wbuf >= perf.estimate.e_wbuf
+
+    def test_performance_never_slower_than_balance(self, tiny_config):
+        layer = ConvLayer(
+            "c", 8, 16, in_h=12, in_w=12, kernel_h=3, kernel_w=3, padding=1
+        )
+        perf = schedule_layer(layer, tiny_config, objective="performance")
+        bal = schedule_layer(layer, tiny_config, objective="balance")
+        assert perf.cycles <= bal.cycles
+
+
+class TestSearchQuality:
+    def test_large_conv_high_efficiency(self, small_config):
+        """A reuse-rich conv should schedule at > 70 % efficiency even on a
+        small grid."""
+        layer = ConvLayer(
+            "c", 16, 24, in_h=16, in_w=16, kernel_h=3, kernel_w=3, padding=1
+        )
+        schedule = schedule_layer(layer, small_config)
+        assert schedule.estimate.hardware_efficiency > 0.70
+
+    def test_exhaustive_beats_or_equals_beamed(self, tiny_config):
+        layer = ConvLayer("c", 4, 6, in_h=6, in_w=6, kernel_h=3, kernel_w=3)
+        beamed = ScheduleSearch(
+            layer, tiny_config, spatial_beam=20, temporal_beam=20
+        ).run()[0]
+        full = ScheduleSearch(
+            layer, tiny_config, spatial_beam=None, temporal_beam=None
+        ).run()[0]
+        assert full.cycles <= beamed.cycles
+
+    def test_candidates_counted(self, small_mm, tiny_config):
+        search = ScheduleSearch(small_mm, tiny_config)
+        search.run()
+        assert search.candidates_evaluated > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(2, 24),
+    n=st.integers(2, 16),
+    hw=st.integers(2, 10),
+    k=st.sampled_from([1, 3]),
+)
+def test_search_always_finds_feasible_schedule(m, n, hw, k):
+    """Property: any reasonable conv layer gets a feasible schedule whose
+    padded sizes cover the workload (Eqn 11)."""
+    config = OverlayConfig(
+        d1=3, d2=2, d3=2, s_actbuf_words=64,
+        s_wbuf_words=256, s_psumbuf_words=512,
+    )
+    layer = ConvLayer(
+        "c", in_channels=n, out_channels=m, in_h=hw, in_w=hw,
+        kernel_h=k, kernel_w=k, padding=k // 2,
+    )
+    schedule = ScheduleSearch(
+        layer, config, spatial_beam=40, temporal_beam=40
+    ).run()[0]
+    assert check_constraints(layer, config, schedule.mapping) == []
+    assert schedule.estimate.hardware_efficiency > 0.0

@@ -1,0 +1,116 @@
+"""DRAM spec, bandwidth, trace, and power models."""
+
+import pytest
+
+from repro.dram.bandwidth import sustained_bandwidth_gbps, transfer_cycles
+from repro.dram.power import estimate_power
+from repro.dram.spec import DDR4_2400, DramSpec
+from repro.errors import FTDLError, SimulationError
+from repro.sim.trace import DramTrace, TraceEvent
+
+
+class TestSpec:
+    def test_default_sustains_about_26gbps(self):
+        assert sustained_bandwidth_gbps(DDR4_2400) == pytest.approx(26.1, abs=0.2)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(FTDLError):
+            DramSpec(
+                name="bad", data_bits=64, clock_mhz=1200, peak_gbps=19.2,
+                efficiency=1.5, energy_per_byte_rd_pj=50,
+                energy_per_byte_wr_pj=50, background_power_w=1,
+            )
+
+
+class TestBandwidth:
+    def test_transfer_cycles_26gbps(self):
+        # 26 GB/s at 650 MHz = 40 B/cycle = 20 words/cycle.
+        assert transfer_cycles(200, clk_mhz=650.0, bandwidth_gbps=26.0) == 10
+
+    def test_rounds_up(self):
+        assert transfer_cycles(201, clk_mhz=650.0, bandwidth_gbps=26.0) == 11
+
+    def test_zero_words(self):
+        assert transfer_cycles(0, 650.0, 26.0) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(FTDLError):
+            transfer_cycles(-1, 650.0, 26.0)
+        with pytest.raises(FTDLError):
+            transfer_cycles(1, 0.0, 26.0)
+
+
+class TestTrace:
+    def test_record_and_totals(self):
+        trace = DramTrace()
+        trace.record(0, "RD", 100, "act")
+        trace.record(5, "WR", 40, "psum")
+        trace.record(9, "RD", 60, "weight")
+        assert trace.total_words("RD") == 160
+        assert trace.total_words("WR") == 40
+        assert trace.total_words("RD", "weight") == 60
+        assert trace.total_bytes("WR") == 80
+        assert trace.last_cycle == 9
+
+    def test_zero_word_events_dropped(self):
+        trace = DramTrace()
+        trace.record(0, "RD", 0, "act")
+        assert not trace.events
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(0, "XX", 1, "act")
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(-1, "RD", 1, "act")
+
+    def test_merge_offsets_cycles(self):
+        a = DramTrace()
+        a.record(0, "RD", 10, "act")
+        b = DramTrace()
+        b.record(3, "WR", 5, "psum")
+        a.merge(b, cycle_offset=100)
+        assert a.last_cycle == 103
+        assert a.total_words() == 15
+
+
+class TestDramPower:
+    def _trace(self):
+        trace = DramTrace()
+        trace.record(0, "RD", 500_000, "act")
+        trace.record(10, "WR", 250_000, "psum")
+        return trace
+
+    def test_energy_components(self):
+        report = estimate_power(
+            self._trace(), DDR4_2400, window_cycles=650_000, clk_mhz=650.0
+        )
+        assert report.read_energy_nj == pytest.approx(
+            1_000_000 * DDR4_2400.energy_per_byte_rd_pj * 1e-3
+        )
+        assert report.write_energy_nj == pytest.approx(
+            500_000 * DDR4_2400.energy_per_byte_wr_pj * 1e-3
+        )
+        assert report.window_seconds == pytest.approx(1e-3)
+
+    def test_background_dominates_idle(self):
+        report = estimate_power(
+            DramTrace(), DDR4_2400, window_cycles=650_000, clk_mhz=650.0
+        )
+        assert report.total_energy_nj == report.background_energy_nj
+        assert report.average_power_w == pytest.approx(
+            DDR4_2400.background_power_w
+        )
+
+    def test_average_power_reasonable_for_streaming(self):
+        """A saturating stream should sit in the single-digit watts."""
+        words_per_ms = int(26e9 * 1e-3 / 2)  # 26 GB/s for 1 ms, 16-bit words
+        trace = DramTrace()
+        trace.record(0, "RD", words_per_ms, "act")
+        report = estimate_power(trace, DDR4_2400, 650_000, 650.0)
+        assert 1.0 < report.average_power_w < 10.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(FTDLError):
+            estimate_power(DramTrace(), DDR4_2400, -1, 650.0)

@@ -1,0 +1,83 @@
+"""Fixed-point arithmetic helpers (datapath semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import (
+    INT16_MAX,
+    INT16_MIN,
+    quantize_symmetric,
+    to_int16,
+    wrap48,
+)
+
+
+class TestToInt16:
+    def test_saturates_high(self):
+        assert to_int16(np.array([40000])) == INT16_MAX
+
+    def test_saturates_low(self):
+        assert to_int16(np.array([-40000])) == INT16_MIN
+
+    def test_passes_in_range(self):
+        values = np.array([-32768, -1, 0, 1, 32767])
+        assert np.array_equal(to_int16(values), values.astype(np.int16))
+
+
+class TestWrap48:
+    def test_identity_in_range(self):
+        assert wrap48(123456789) == 123456789
+        assert wrap48(-(1 << 47)) == -(1 << 47)
+
+    def test_wraps_positive_overflow(self):
+        assert wrap48(1 << 47) == -(1 << 47)
+
+    def test_wraps_negative_overflow(self):
+        assert wrap48(-(1 << 47) - 1) == (1 << 47) - 1
+
+    def test_array_form(self):
+        values = np.array([(1 << 47), 5, -(1 << 47) - 1], dtype=object)
+        wrapped = wrap48(values)
+        assert list(wrapped) == [-(1 << 47), 5, (1 << 47) - 1]
+
+    @given(st.integers(-(1 << 60), 1 << 60))
+    def test_result_always_in_range(self, value):
+        wrapped = wrap48(value)
+        assert -(1 << 47) <= wrapped < (1 << 47)
+
+    @given(st.integers(-(1 << 60), 1 << 60), st.integers(-(1 << 60), 1 << 60))
+    def test_wrap_is_homomorphic_under_addition(self, a, b):
+        """wrap(a + b) == wrap(wrap(a) + wrap(b)) — accumulation order
+        cannot change the wrapped result (cascade correctness)."""
+        assert wrap48(a + b) == wrap48(wrap48(a) + wrap48(b))
+
+
+class TestQuantize:
+    def test_round_trip_scale(self):
+        real = np.array([-1.0, 0.5, 1.0])
+        q, scale = quantize_symmetric(real)
+        assert np.allclose(q * scale, real, atol=scale)
+
+    def test_zero_tensor(self):
+        q, scale = quantize_symmetric(np.zeros(4))
+        assert scale == 1.0
+        assert not q.any()
+
+    def test_peak_maps_to_qmax(self):
+        q, _ = quantize_symmetric(np.array([2.0, -4.0]))
+        assert q.min() == -32767
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(2), n_bits=1)
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(2), n_bits=17)
+
+    @given(st.integers(2, 16))
+    def test_quantized_range(self, bits):
+        rng = np.random.default_rng(bits)
+        real = rng.normal(size=32)
+        q, _ = quantize_symmetric(real, n_bits=bits)
+        qmax = (1 << (bits - 1)) - 1
+        assert int(np.abs(q).max()) <= qmax

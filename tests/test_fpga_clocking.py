@@ -1,0 +1,71 @@
+"""Double-pump clock planning."""
+
+import pytest
+
+from repro.errors import ClockingError
+from repro.fpga.clocking import ClockPlan, plan_double_pump
+from repro.fpga.devices import get_device
+
+
+@pytest.fixture
+def vu125():
+    return get_device("vu125")
+
+
+class TestPlanDoublePump:
+    def test_fastest_plan_is_dsp_limited(self, vu125):
+        plan = plan_double_pump(vu125)
+        # 2 x BRAM fmax (1056) exceeds DSP fmax (740) -> DSP binds.
+        assert plan.clk_h_mhz == vu125.dsp.fmax_mhz
+        assert plan.clk_l_mhz == pytest.approx(plan.clk_h_mhz / 2)
+
+    def test_target_caps_clock(self, vu125):
+        plan = plan_double_pump(vu125, target_clk_h_mhz=650.0)
+        assert plan.clk_h_mhz == 650.0
+        assert plan.clk_l_mhz == 325.0
+
+    def test_weight_reuse_cycles(self, vu125):
+        assert plan_double_pump(vu125).weight_reuse_cycles == 2
+        assert plan_double_pump(vu125, double_pump=False).weight_reuse_cycles == 1
+
+    def test_single_clock_is_bram_limited(self, vu125):
+        plan = plan_double_pump(vu125, double_pump=False)
+        assert plan.clk_h_mhz == vu125.bram.fmax_mhz
+        assert plan.clk_l_mhz == plan.clk_h_mhz
+
+    def test_double_pump_roughly_doubles_throughput(self, vu125):
+        # The point of §III-A2: the MACC rate gain of double pumping.
+        with_dp = plan_double_pump(vu125).clk_h_mhz
+        without = plan_double_pump(vu125, double_pump=False).clk_h_mhz
+        assert with_dp / without > 1.35
+
+    def test_rejects_nonpositive_target(self, vu125):
+        with pytest.raises(ClockingError):
+            plan_double_pump(vu125, target_clk_h_mhz=0.0)
+
+
+class TestClockPlanValidation:
+    def test_ratio_must_be_two(self, vu125):
+        plan = ClockPlan(clk_h_mhz=600.0, clk_l_mhz=400.0, double_pump=True)
+        with pytest.raises(ClockingError, match="2 x CLK_l"):
+            plan.validate(vu125)
+
+    def test_bram_overclock_rejected(self, vu125):
+        plan = ClockPlan(clk_h_mhz=740.0, clk_l_mhz=740.0, double_pump=False)
+        with pytest.raises(ClockingError, match="BRAM"):
+            plan.validate(vu125)
+
+    def test_dsp_overclock_rejected(self, vu125):
+        plan = ClockPlan(clk_h_mhz=900.0, clk_l_mhz=450.0, double_pump=True)
+        with pytest.raises(ClockingError, match="DSP"):
+            plan.validate(vu125)
+
+    def test_single_clock_mismatch_rejected(self, vu125):
+        plan = ClockPlan(clk_h_mhz=500.0, clk_l_mhz=400.0, double_pump=False)
+        with pytest.raises(ClockingError, match="single-clock"):
+            plan.validate(vu125)
+
+    def test_nonpositive_frequency_rejected(self, vu125):
+        plan = ClockPlan(clk_h_mhz=-1.0, clk_l_mhz=-0.5, double_pump=True)
+        with pytest.raises(ClockingError, match="positive"):
+            plan.validate(vu125)

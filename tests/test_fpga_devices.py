@@ -1,0 +1,109 @@
+"""Device floorplan models."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.fpga.devices import Device, FabricColumn, get_device, list_devices
+from repro.fpga.primitives import PrimitiveKind
+
+
+class TestCatalogue:
+    def test_lists_known_devices(self):
+        names = list_devices()
+        assert "vu125" in names
+        assert "7vx330t" in names
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device("xc7z020")
+
+    def test_vu125_dsp_total(self):
+        # The paper's example platform: 1200 DSPs in 5 columns of 240.
+        dev = get_device("vu125")
+        assert dev.n_dsp_total == 1200
+        assert len(dev.dsp_columns) == 5
+        assert dev.dsps_per_column == 240
+
+    def test_7vx330t_dsp_total(self):
+        assert get_device("7vx330t").n_dsp_total == 1120
+
+    def test_bram_at_least_one_per_dsp(self):
+        # The TPE pairing needs BRAM18 >= DSP on every catalogued part.
+        for name in list_devices():
+            dev = get_device(name)
+            assert dev.n_bram18_total >= dev.n_dsp_total, name
+
+    def test_every_device_validates(self):
+        for name in list_devices():
+            get_device(name).validate()
+
+
+class TestColumnGeometry:
+    def test_dsp_bram_spacing_is_small_constant(self):
+        # The layout-aware pairing: nearest BRAM column within a few
+        # fabric columns of every DSP column.
+        for name in list_devices():
+            dev = get_device(name)
+            for col in dev.dsp_columns:
+                assert dev.dsp_bram_spacing(col) <= 3, name
+
+    def test_columns_sorted_and_unique(self):
+        dev = get_device("vu125")
+        indices = [c.index for c in dev.columns]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_columns_of_filters_by_kind(self):
+        dev = get_device("vu125")
+        brams = dev.columns_of(PrimitiveKind.BRAM)
+        assert all(c.kind == PrimitiveKind.BRAM for c in brams)
+        assert sum(c.n_sites for c in brams) == dev.n_bram18_total
+
+
+class TestValidation:
+    def _device(self, columns) -> Device:
+        base = get_device("vu125")
+        return Device(
+            name="broken",
+            family=base.family,
+            dsp=base.dsp,
+            bram=base.bram,
+            clb=base.clb,
+            columns=columns,
+            column_pitch_ns=base.column_pitch_ns,
+            site_pitch_ns=base.site_pitch_ns,
+            route_base_ns=base.route_base_ns,
+            n_clb_total=base.n_clb_total,
+        )
+
+    def test_no_dsp_columns_rejected(self):
+        device = self._device(
+            (FabricColumn(0, PrimitiveKind.BRAM, 100),)
+        )
+        with pytest.raises(DeviceError, match="no DSP columns"):
+            device.validate()
+
+    def test_duplicate_indices_rejected(self):
+        device = self._device(
+            (
+                FabricColumn(0, PrimitiveKind.DSP, 100),
+                FabricColumn(0, PrimitiveKind.BRAM, 100),
+            )
+        )
+        with pytest.raises(DeviceError, match="duplicate"):
+            device.validate()
+
+    def test_empty_column_rejected(self):
+        device = self._device(
+            (
+                FabricColumn(0, PrimitiveKind.DSP, 0),
+                FabricColumn(1, PrimitiveKind.BRAM, 100),
+            )
+        )
+        with pytest.raises(DeviceError, match="no sites"):
+            device.validate()
+
+    def test_nearest_bram_without_brams_raises(self):
+        device = self._device((FabricColumn(0, PrimitiveKind.DSP, 10),))
+        with pytest.raises(DeviceError, match="no BRAM columns"):
+            device.nearest_bram_column(device.dsp_columns[0])

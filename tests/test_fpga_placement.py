@@ -1,0 +1,93 @@
+"""Placement of FTDL overlays and the systolic baseline."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.fpga.devices import get_device
+from repro.fpga.placement import place_overlay, place_systolic
+
+
+@pytest.fixture
+def vu125():
+    return get_device("vu125")
+
+
+class TestOverlayPlacement:
+    def test_paper_config_fits(self, vu125):
+        placement = place_overlay(vu125, 12, 5, 20)
+        assert placement.n_dsp_used == 1200
+        assert placement.dsp_utilization == pytest.approx(1.0)
+        assert placement.style == "ftdl"
+
+    def test_bram_accounting_includes_psumbuf(self, vu125):
+        placement = place_overlay(vu125, 12, 5, 20)
+        # 1200 TPE BRAMs + 100 SuperBlocks x 2 PSumBUF BRAMs.
+        assert placement.n_bram_used == 1200 + 100 * 2
+
+    def test_net_classes_present(self, vu125):
+        placement = place_overlay(vu125, 12, 5, 20)
+        names = {net.name for net in placement.nets}
+        assert {"wbuf_rd", "actbuf_rd", "dsp_cascade", "psum_wr"} <= names
+
+    def test_cascade_is_dedicated(self, vu125):
+        placement = place_overlay(vu125, 12, 5, 20)
+        cascade = next(n for n in placement.nets if n.name == "dsp_cascade")
+        assert cascade.dedicated
+
+    def test_wbuf_net_in_slow_domain(self, vu125):
+        placement = place_overlay(vu125, 12, 5, 20)
+        wbuf = next(n for n in placement.nets if n.name == "wbuf_rd")
+        assert wbuf.clock_domain == "l"
+
+    def test_net_lengths_scale_invariant(self, vu125):
+        """The FTDL property: worst net distances do not grow with scale."""
+        small = place_overlay(vu125, 12, 1, 5)
+        large = place_overlay(vu125, 12, 5, 20)
+        for name in ("wbuf_rd", "actbuf_rd", "psum_wr"):
+            s = next(n for n in small.nets if n.name == name)
+            l = next(n for n in large.nets if n.name == name)
+            assert (l.dx_columns, l.dy_sites) == (s.dx_columns, s.dy_sites), name
+
+    def test_too_many_columns_rejected(self, vu125):
+        with pytest.raises(ResourceError, match="D2=6 exceeds"):
+            place_overlay(vu125, 12, 6, 20)
+
+    def test_column_overflow_rejected(self, vu125):
+        with pytest.raises(ResourceError, match="D1\\*D3"):
+            place_overlay(vu125, 13, 5, 20)
+
+    def test_nonpositive_dimension_rejected(self, vu125):
+        with pytest.raises(ResourceError):
+            place_overlay(vu125, 0, 1, 1)
+
+    def test_seed_deterministic(self, vu125):
+        a = place_overlay(vu125, 12, 5, 20)
+        b = place_overlay(vu125, 12, 5, 20)
+        assert a.seed == b.seed
+
+    def test_seed_differs_between_designs(self, vu125):
+        a = place_overlay(vu125, 12, 5, 20)
+        b = place_overlay(vu125, 12, 4, 20)
+        assert a.seed != b.seed
+
+
+class TestSystolicPlacement:
+    def test_boundary_feed_spans_grow_with_scale(self, vu125):
+        """The architecture-layout mismatch: feed nets stretch with size."""
+        small = place_systolic(vu125, 8, 8)
+        large = place_systolic(vu125, 32, 32)
+        s = next(n for n in small.nets if n.name == "act_feed_boundary")
+        l = next(n for n in large.nets if n.name == "act_feed_boundary")
+        assert l.dx_columns > s.dx_columns
+        assert l.dy_sites >= s.dy_sites
+
+    def test_pe_count(self, vu125):
+        assert place_systolic(vu125, 16, 16).n_dsp_used == 256
+
+    def test_too_many_pes_rejected(self, vu125):
+        with pytest.raises(ResourceError, match="exceed"):
+            place_systolic(vu125, 40, 40)
+
+    def test_nonpositive_shape_rejected(self, vu125):
+        with pytest.raises(ResourceError):
+            place_systolic(vu125, 0, 8)

@@ -1,0 +1,101 @@
+"""Post-P&R timing estimation — the substance of Fig. 6."""
+
+import pytest
+
+from repro.fpga.devices import get_device
+from repro.fpga.placement import place_overlay, place_systolic
+from repro.fpga.timing import TimingModel
+
+VU125_SCALE_UP = [
+    (12, 1, 5), (12, 1, 10), (12, 1, 20), (12, 2, 20),
+    (12, 3, 20), (12, 4, 20), (12, 5, 20),
+]
+VIRTEX_SCALE_UP = [
+    (10, 1, 4), (10, 1, 8), (10, 1, 16), (10, 2, 16),
+    (10, 4, 16), (10, 6, 16), (10, 7, 16),
+]
+
+
+@pytest.fixture
+def vu125():
+    return get_device("vu125")
+
+
+@pytest.fixture
+def virtex():
+    return get_device("7vx330t")
+
+
+class TestOverlayTiming:
+    def test_vu125_stabilizes_above_650(self, vu125):
+        """Fig. 6(b): fmax > 650 MHz at every scale point."""
+        model = TimingModel(vu125)
+        for cfg in VU125_SCALE_UP:
+            report = model.report(place_overlay(vu125, *cfg))
+            assert report.fmax_mhz > 650.0, cfg
+
+    def test_virtex_stabilizes_above_620(self, virtex):
+        """Fig. 6(a): fmax > 620 MHz at every scale point."""
+        model = TimingModel(virtex)
+        for cfg in VIRTEX_SCALE_UP:
+            report = model.report(place_overlay(virtex, *cfg))
+            assert report.fmax_mhz > 620.0, cfg
+
+    def test_fmax_fraction_exceeds_88_percent(self, vu125, virtex):
+        """The abstract's claim: >= 88 % of theoretical DSP fmax."""
+        for device, configs in ((vu125, VU125_SCALE_UP), (virtex, VIRTEX_SCALE_UP)):
+            model = TimingModel(device)
+            for cfg in configs:
+                report = model.report(place_overlay(device, *cfg))
+                assert report.fmax_fraction >= 0.88, (device.name, cfg)
+
+    def test_scale_up_is_flat(self, vu125):
+        """Largest minus smallest fmax across the sweep stays within 5 %."""
+        model = TimingModel(vu125)
+        fmaxes = [
+            model.report(place_overlay(vu125, *cfg)).fmax_mhz
+            for cfg in VU125_SCALE_UP
+        ]
+        assert (max(fmaxes) - min(fmaxes)) / max(fmaxes) < 0.05
+
+    def test_report_is_deterministic(self, vu125):
+        model = TimingModel(vu125)
+        a = model.report(place_overlay(vu125, 12, 5, 20))
+        b = model.report(place_overlay(vu125, 12, 5, 20))
+        assert a.fmax_mhz == b.fmax_mhz
+
+    def test_paths_sorted_worst_first(self, vu125):
+        report = TimingModel(vu125).report(place_overlay(vu125, 12, 5, 20))
+        limits = [p.clk_h_limit_mhz for p in report.paths]
+        assert limits == sorted(limits)
+        assert report.critical_path is report.paths[0]
+
+    def test_never_exceeds_dsp_cap(self, vu125):
+        report = TimingModel(vu125).report(place_overlay(vu125, 12, 1, 5))
+        assert report.fmax_mhz <= vu125.dsp.fmax_mhz
+
+    def test_without_double_pump_bram_can_bind(self, vu125):
+        """Single-clock mode halves the BRAM budget; fmax drops to <= 528."""
+        placement = place_overlay(vu125, 12, 5, 20)
+        single = TimingModel(vu125).report(placement, double_pump=False)
+        assert single.fmax_mhz <= vu125.bram.fmax_mhz
+
+
+class TestSystolicTiming:
+    def test_fmax_degrades_with_scale(self, vu125):
+        """The motivating mismatch: boundary-fed arrays slow down as they
+        grow, ending below the 250 MHz the paper attributes to prior art."""
+        model = TimingModel(vu125)
+        sizes = [(8, 8), (16, 16), (24, 24), (32, 32)]
+        fmaxes = [
+            model.report(place_systolic(vu125, r, c)).fmax_mhz
+            for r, c in sizes
+        ]
+        assert all(a >= b for a, b in zip(fmaxes, fmaxes[1:]))
+        assert fmaxes[-1] < 250.0
+
+    def test_large_systolic_much_slower_than_overlay(self, vu125):
+        model = TimingModel(vu125)
+        overlay = model.report(place_overlay(vu125, 12, 5, 20))
+        systolic = model.report(place_systolic(vu125, 34, 34))
+        assert overlay.fmax_mhz > 2.5 * systolic.fmax_mhz

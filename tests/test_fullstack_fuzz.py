@@ -1,0 +1,140 @@
+"""Property-based full-stack fuzzing.
+
+Hypothesis draws random layer shapes and overlay grids; every draw must
+compile to a feasible schedule whose cycle-level execution is bit-exact
+against the golden model.  This is the wide net behind the fixed
+integration matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler.codegen import compile_schedule
+from repro.compiler.constraints import check_constraints
+from repro.compiler.search import ScheduleSearch
+from repro.overlay.config import OverlayConfig
+from repro.sim.cycle import CycleSimulator
+from repro.sim.functional import random_layer_operands
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+config_strategy = st.builds(
+    OverlayConfig,
+    d1=st.integers(1, 4),
+    d2=st.integers(1, 3),
+    d3=st.integers(1, 3),
+    s_actbuf_words=st.sampled_from([32, 64, 128]),
+    s_wbuf_words=st.sampled_from([64, 256]),
+    s_psumbuf_words=st.sampled_from([128, 512]),
+)
+
+conv_strategy = st.builds(
+    ConvLayer,
+    name=st.just("fuzz_conv"),
+    in_channels=st.integers(1, 6),
+    out_channels=st.integers(1, 8),
+    in_h=st.integers(3, 9),
+    in_w=st.integers(3, 9),
+    kernel_h=st.sampled_from([1, 3]),
+    kernel_w=st.sampled_from([1, 3]),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 1),
+)
+
+mm_strategy = st.builds(
+    MatMulLayer,
+    name=st.just("fuzz_mm"),
+    in_features=st.integers(1, 40),
+    out_features=st.integers(1, 24),
+    batch=st.integers(1, 5),
+)
+
+
+def _run_fullstack(layer, config, seed):
+    schedule = ScheduleSearch(
+        layer, config, spatial_beam=24, temporal_beam=24
+    ).run()[0]
+    assert check_constraints(layer, config, schedule.mapping) == []
+    compiled = compile_schedule(schedule)
+    weights, acts = random_layer_operands(
+        layer, np.random.default_rng(seed)
+    )
+    run = CycleSimulator(config).run_layer(compiled, weights, acts)
+    assert run.golden_match
+    assert run.useful_maccs == layer.maccs
+    assert run.issued_maccs >= run.useful_maccs
+
+
+@_SETTINGS
+@given(layer=conv_strategy, config=config_strategy, seed=st.integers(0, 99))
+def test_fuzz_conv_fullstack(layer, config, seed):
+    _run_fullstack(layer, config, seed)
+
+
+@_SETTINGS
+@given(layer=mm_strategy, config=config_strategy, seed=st.integers(0, 99))
+def test_fuzz_mm_fullstack(layer, config, seed):
+    _run_fullstack(layer, config, seed)
+
+
+def test_forced_multipass_bit_exact(rng):
+    """A PSumBUF too small for the output forces LoopX onto reduction
+    loops (multipass accumulation with host-side adds across passes);
+    the result must still be bit-exact."""
+    config = OverlayConfig(
+        d1=2, d2=2, d3=2,
+        s_actbuf_words=32,
+        s_wbuf_words=64,
+        s_psumbuf_words=16,  # usable tile: 8 words
+    )
+    layer = ConvLayer(
+        "multipass", in_channels=8, out_channels=6,
+        in_h=6, in_w=6, kernel_h=3, kernel_w=3, padding=1,
+    )
+    schedule = ScheduleSearch(layer, config).run()[0]
+    # The tiny PSumBUF makes a single-pass schedule impossible: with at
+    # most 8 output words per pass the layer's 216 outputs need many
+    # passes.
+    assert schedule.mapping.x > 1
+    compiled = compile_schedule(schedule)
+    weights, acts = random_layer_operands(layer, rng)
+    run = CycleSimulator(config).run_layer(compiled, weights, acts)
+    assert run.golden_match
+
+
+def test_reduction_on_x_accumulates_across_passes(rng):
+    """Force a schedule where LoopX genuinely splits the reduction (the
+    paper's multi-pass PSumBUS store/reload path)."""
+    from repro.compiler.mapping import MappingVectors
+    from repro.compiler.model import evaluate_mapping
+
+    config = OverlayConfig(
+        d1=2, d2=2, d3=1,
+        s_actbuf_words=64, s_wbuf_words=64, s_psumbuf_words=128,
+    )
+    layer = MatMulLayer("mp", in_features=8, out_features=4, batch=2)
+    mapping = MappingVectors.from_partial(
+        ("M", "N", "P"),
+        {"D1": {"M": 2}, "D2": {"N": 2}, "X": {"M": 4},
+         "T": {"N": 2, "P": 2}},
+    )
+    assert check_constraints(layer, config, mapping) == []
+    estimate = evaluate_mapping(layer, config, mapping)
+    from repro.compiler.search import Schedule
+    schedule = Schedule(
+        layer=layer, config=config, mapping=mapping,
+        estimate=estimate, objective="performance",
+    )
+    compiled = compile_schedule(schedule)
+    weights, acts = random_layer_operands(layer, rng)
+    run = CycleSimulator(config).run_layer(compiled, weights, acts)
+    assert run.golden_match
+    # The trace shows the multipass refetch stream.
+    assert run.trace.total_words("RD", "psum") > 0

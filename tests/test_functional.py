@@ -1,0 +1,109 @@
+"""Golden reference models: conv/matmul against independent NumPy math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.functional import (
+    conv2d_int16,
+    golden_layer_output,
+    matmul_int16,
+    random_layer_operands,
+)
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+class TestMatmul:
+    def test_matches_numpy(self, rng):
+        w = rng.integers(-100, 100, size=(5, 7)).astype(np.int16)
+        a = rng.integers(-100, 100, size=(7, 3)).astype(np.int16)
+        assert np.array_equal(matmul_int16(w, a), w.astype(np.int64) @ a)
+
+    def test_wraps_at_48_bits(self):
+        # 32767 * 32767 * k accumulated enough times overflows 48 bits.
+        k = 300000
+        w = np.full((1, k), 32767, dtype=np.int16)
+        a = np.full((k, 1), 32767, dtype=np.int16)
+        out = matmul_int16(w, a)
+        assert -(1 << 47) <= int(out[0, 0]) < (1 << 47)
+        expected = (32767 * 32767 * k + (1 << 47)) % (1 << 48) - (1 << 47)
+        assert int(out[0, 0]) == expected
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="mismatch"):
+            matmul_int16(np.zeros((2, 3), np.int16), np.zeros((4, 1), np.int16))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(SimulationError):
+            matmul_int16(np.zeros(3, np.int16), np.zeros((3, 1), np.int16))
+
+
+class TestConv:
+    def _reference(self, w, a, stride, padding):
+        """Independent direct-loop convolution (no tensordot)."""
+        m, n, r, s = w.shape
+        _, ih, iw = a.shape
+        oh = (ih + 2 * padding - r) // stride + 1
+        ow = (iw + 2 * padding - s) // stride + 1
+        out = np.zeros((m, oh, ow), dtype=np.int64)
+        for mo in range(m):
+            for y in range(oh):
+                for x in range(ow):
+                    acc = 0
+                    for c in range(n):
+                        for dy in range(r):
+                            for dx in range(s):
+                                yy = y * stride + dy - padding
+                                xx = x * stride + dx - padding
+                                if 0 <= yy < ih and 0 <= xx < iw:
+                                    acc += int(w[mo, c, dy, dx]) * int(a[c, yy, xx])
+                    out[mo, y, x] = acc
+        return out
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 3)])
+    def test_matches_direct_loops(self, rng, stride, padding):
+        w = rng.integers(-50, 50, size=(3, 2, 3, 3)).astype(np.int16)
+        a = rng.integers(-50, 50, size=(2, 7, 7)).astype(np.int16)
+        got = conv2d_int16(w, a, stride=stride, padding=padding)
+        assert np.array_equal(got, self._reference(w, a, stride, padding))
+
+    def test_pointwise_conv_equals_matmul(self, rng):
+        w = rng.integers(-50, 50, size=(4, 3, 1, 1)).astype(np.int16)
+        a = rng.integers(-50, 50, size=(3, 5, 5)).astype(np.int16)
+        got = conv2d_int16(w, a)
+        via_mm = matmul_int16(w[:, :, 0, 0], a.reshape(3, 25)).reshape(4, 5, 5)
+        assert np.array_equal(got, via_mm)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(SimulationError, match="empty"):
+            conv2d_int16(
+                np.zeros((1, 1, 5, 5), np.int16), np.zeros((1, 2, 2), np.int16)
+            )
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="channel"):
+            conv2d_int16(
+                np.zeros((1, 2, 1, 1), np.int16), np.zeros((3, 4, 4), np.int16)
+            )
+
+
+class TestGoldenDispatch:
+    def test_conv_dispatch(self, small_conv, rng):
+        w, a = random_layer_operands(small_conv, rng)
+        out = golden_layer_output(small_conv, w, a)
+        assert out.shape == small_conv.out_shape()
+
+    def test_mm_dispatch(self, small_mm, rng):
+        w, a = random_layer_operands(small_mm, rng)
+        out = golden_layer_output(small_mm, w, a)
+        assert out.shape == small_mm.out_shape()
+
+    def test_wrong_shape_rejected(self, small_conv, rng):
+        w, a = random_layer_operands(small_conv, rng)
+        with pytest.raises(SimulationError, match="expects"):
+            golden_layer_output(small_conv, w[:, :1], a)
+
+    def test_random_operands_bounded(self, small_mm, rng):
+        w, a = random_layer_operands(small_mm, rng, magnitude=10)
+        assert int(np.abs(w).max()) <= 10
+        assert int(np.abs(a).max()) <= 10

@@ -1,0 +1,116 @@
+"""Property-based invariants of the analytical model."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler.constraints import check_constraints
+from repro.compiler.search import ScheduleSearch
+from repro.overlay.config import OverlayConfig
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+layer_strategy = st.one_of(
+    st.builds(
+        ConvLayer,
+        name=st.just("inv_conv"),
+        in_channels=st.integers(1, 8),
+        out_channels=st.integers(1, 10),
+        in_h=st.integers(4, 10),
+        in_w=st.integers(4, 10),
+        kernel_h=st.sampled_from([1, 3]),
+        kernel_w=st.sampled_from([1, 3]),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+    ),
+    st.builds(
+        MatMulLayer,
+        name=st.just("inv_mm"),
+        in_features=st.integers(1, 48),
+        out_features=st.integers(1, 32),
+        batch=st.integers(1, 6),
+    ),
+)
+
+
+def _search(layer, config):
+    return ScheduleSearch(
+        layer, config, spatial_beam=20, temporal_beam=20
+    ).run()[0]
+
+
+@_SETTINGS
+@given(layer=layer_strategy)
+def test_estimate_invariants(layer):
+    """For any searched schedule: efficiency in (0, 1], C_exe >= C_min,
+    score in (0, 2], padded coverage, buffers within capacity."""
+    config = OverlayConfig(
+        d1=3, d2=2, d3=2, s_actbuf_words=64,
+        s_wbuf_words=256, s_psumbuf_words=512,
+    )
+    schedule = _search(layer, config)
+    est = schedule.estimate
+    assert 0.0 < est.hardware_efficiency <= 1.0
+    assert est.c_exe >= est.c_exe_min
+    assert 0.0 < est.score <= 2.0
+    assert 0.0 < est.e_wbuf <= 1.0
+    assert est.actbuf_words <= config.actbuf_usable_words
+    assert est.wbuf_words <= config.s_wbuf_words
+    assert est.psumbuf_words <= config.psumbuf_usable_words
+    assert check_constraints(layer, config, schedule.mapping) == []
+
+
+@_SETTINGS
+@given(layer=layer_strategy)
+def test_more_hardware_never_slower(layer):
+    """At fixed D1, growing the grid (more columns/rows) cannot make the
+    best schedule slower: every smaller-grid mapping stays feasible.
+
+    D1 must be held fixed because the cascade fill latency Lat = D1 + 6
+    genuinely grows with chain depth — a deeper SuperBlock *can* lose on
+    tiny layers.
+    """
+    small = OverlayConfig(
+        d1=2, d2=1, d3=2, s_actbuf_words=64,
+        s_wbuf_words=256, s_psumbuf_words=512,
+    )
+    large = OverlayConfig(
+        d1=2, d2=2, d3=4, s_actbuf_words=64,
+        s_wbuf_words=256, s_psumbuf_words=512,
+    )
+    slow = ScheduleSearch(layer, small, spatial_beam=None,
+                          temporal_beam=40).run()[0]
+    fast = ScheduleSearch(layer, large, spatial_beam=None,
+                          temporal_beam=40).run()[0]
+    assert fast.cycles <= slow.cycles
+
+
+@_SETTINGS
+@given(layer=layer_strategy)
+def test_double_buffer_never_slower(layer):
+    """Overlapping communication with computation cannot lose."""
+    base = dict(
+        d1=3, d2=2, d3=2, s_actbuf_words=64,
+        s_wbuf_words=256, s_psumbuf_words=512,
+    )
+    overlapped = _search(layer, OverlayConfig(**base))
+    serial = _search(layer, OverlayConfig(**base, double_buffer=False))
+    assert overlapped.cycles <= serial.cycles
+
+
+@_SETTINGS
+@given(layer=layer_strategy)
+def test_residency_never_slower(layer):
+    """Removing the weight stream cannot make the best schedule slower."""
+    base = dict(
+        d1=3, d2=2, d3=2, s_actbuf_words=64,
+        s_wbuf_words=256, s_psumbuf_words=512,
+    )
+    streamed = _search(layer, OverlayConfig(**base))
+    resident = _search(layer, OverlayConfig(**base, weights_resident=True))
+    assert resident.cycles <= streamed.cycles

@@ -1,0 +1,142 @@
+"""Whole-network lowering: WBUF allocation across co-resident layers."""
+
+import pytest
+
+from repro.compiler.codegen import compile_network
+from repro.compiler.residency import plan_residency
+from repro.errors import ScheduleError
+from repro.overlay.config import OverlayConfig
+from repro.overlay.isa import OpKind
+from repro.workloads.layers import ConvLayer, MatMulLayer
+from repro.workloads.network import Network
+
+
+@pytest.fixture
+def config():
+    return OverlayConfig(
+        d1=4, d2=2, d3=2, s_actbuf_words=128,
+        s_wbuf_words=256, s_psumbuf_words=2048,
+    )
+
+
+def _net() -> Network:
+    return Network(
+        name="n", application="test",
+        layers=(
+            ConvLayer("c1", 4, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3,
+                      padding=1),
+            ConvLayer("c2", 8, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3,
+                      padding=1),
+            MatMulLayer("fc", in_features=512, out_features=16),
+        ),
+    )
+
+
+class TestCompileNetwork:
+    def test_resident_layers_have_no_load(self, config):
+        plan = plan_residency(_net(), config)
+        program = compile_network(plan)
+        by_name = {
+            c.schedule.layer.name: c for c in program.layers
+        }
+        for entry in plan.layers:
+            compiled = by_name[entry.name]
+            ops = [inst.op for inst in compiled.row_programs[0]]
+            if entry.name in program.wbuf_bases:
+                assert OpKind.LOAD_WEIGHT not in ops
+            else:
+                assert ops[0] == OpKind.LOAD_WEIGHT
+
+    def test_allocations_disjoint_and_within_capacity(self, config):
+        plan = plan_residency(_net(), config)
+        program = compile_network(plan)
+        spans = []
+        for entry in plan.layers:
+            if entry.name not in program.wbuf_bases:
+                continue
+            base = program.wbuf_bases[entry.name]
+            words = entry.schedule.estimate.wbuf_words
+            spans.append((base, base + words))
+            assert base + words <= config.s_wbuf_words
+        spans.sort()
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi <= b_lo  # no overlap
+
+    def test_scratch_above_resident(self, config):
+        plan = plan_residency(_net(), config)
+        program = compile_network(plan)
+        tops = [
+            program.wbuf_bases[e.name] + e.schedule.estimate.wbuf_words
+            for e in plan.layers if e.name in program.wbuf_bases
+        ]
+        assert program.scratch_base == (max(tops) if tops else 0)
+
+    def test_compute_instructions_carry_bases(self, config):
+        plan = plan_residency(_net(), config)
+        program = compile_network(plan)
+        for compiled in program.layers:
+            name = compiled.schedule.layer.name
+            compute = compiled.row_programs[0][-1]
+            if name in program.wbuf_bases:
+                assert compute.wbuf_base == program.wbuf_bases[name]
+
+    def test_tied_layers_share_base(self, config):
+        tied = Network(
+            name="tied", application="test",
+            layers=tuple(
+                MatMulLayer(f"t{i}", 16, 16, weight_group="g")
+                for i in range(3)
+            ),
+        )
+        plan = plan_residency(tied, config)
+        program = compile_network(plan)
+        if program.wbuf_bases:
+            bases = {program.wbuf_bases[f"t{i}"] for i in range(3)}
+            assert len(bases) == 1
+
+    def test_per_tpe_spill_demotes_to_streaming(self):
+        """The plan packs aggregate words; the per-TPE packing can be
+        tighter.  Layers that no longer fit must spill gracefully."""
+        config = OverlayConfig(
+            d1=1, d2=1, d3=1, s_actbuf_words=64,
+            s_wbuf_words=128, s_psumbuf_words=512,
+        )
+        net = Network(
+            name="tight", application="test",
+            layers=(
+                MatMulLayer("a", 8, 8),    # 64 words on one TPE
+                MatMulLayer("b", 8, 8),    # 64 more: exactly fills
+                MatMulLayer("c", 10, 8),   # spills
+            ),
+        )
+        plan = plan_residency(net, config)
+        program = compile_network(plan)
+        resident_words = sum(
+            e.schedule.estimate.wbuf_words
+            for e in plan.layers if e.name in program.wbuf_bases
+        )
+        assert resident_words <= config.s_wbuf_words
+        # Every layer still compiled (spilled ones stream).
+        assert len(program.layers) == 3
+        assert program.n_instructions >= 3
+
+    def test_oversized_pass_slice_rejected(self, config):
+        """A hand-built plan whose layer cannot fit any WBUF must raise."""
+        import dataclasses
+
+        plan = plan_residency(_net(), config)
+        bad_estimate = dataclasses.replace(
+            plan.layers[0].schedule.estimate,
+            wbuf_words=config.s_wbuf_words + 1,
+        )
+        bad_schedule = dataclasses.replace(
+            plan.layers[0].schedule, estimate=bad_estimate
+        )
+        bad_entry = dataclasses.replace(
+            plan.layers[0], schedule=bad_schedule, resident=False
+        )
+        bad_plan = dataclasses.replace(
+            plan, layers=(bad_entry,) + plan.layers[1:]
+        )
+        with pytest.raises(ScheduleError, match="exceeds"):
+            compile_network(bad_plan)

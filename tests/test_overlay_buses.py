@@ -1,0 +1,93 @@
+"""Bus occupancy model and controller phase expansion."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.overlay.buses import BusModel
+from repro.overlay.controller import Controller
+from repro.overlay.isa import Instruction, OpKind
+
+
+class TestBusModel:
+    def test_transfer_duration(self):
+        bus = BusModel("b", words_per_cycle=2.0)
+        assert bus.transfer(0, 10) == 5
+        assert bus.busy_cycles == 5
+        assert bus.words_moved == 10
+
+    def test_serialization(self):
+        bus = BusModel("b", words_per_cycle=1.0)
+        first = bus.transfer(0, 4)
+        second = bus.transfer(0, 4)  # requested at 0, queued behind first
+        assert first == 4
+        assert second == 8
+
+    def test_idle_gap_respected(self):
+        bus = BusModel("b", words_per_cycle=1.0)
+        bus.transfer(0, 2)
+        assert bus.transfer(10, 3) == 13
+
+    def test_zero_words_is_free(self):
+        bus = BusModel("b", words_per_cycle=1.0)
+        assert bus.transfer(5, 0) == 5
+        assert bus.busy_cycles == 0
+
+    def test_fractional_rate_rounds_up(self):
+        bus = BusModel("b", words_per_cycle=1.5)
+        assert bus.transfer(0, 4) == 3  # ceil(4 / 1.5)
+
+    def test_negative_words_rejected(self):
+        bus = BusModel("b", words_per_cycle=1.0)
+        with pytest.raises(SimulationError):
+            bus.transfer(0, -1)
+
+    def test_zero_bandwidth_rejected(self):
+        bus = BusModel("b", words_per_cycle=0.0)
+        with pytest.raises(SimulationError, match="no bandwidth"):
+            bus.transfer(0, 1)
+
+    def test_utilization(self):
+        bus = BusModel("b", words_per_cycle=1.0)
+        bus.transfer(0, 25)
+        assert bus.utilization(100) == pytest.approx(0.25)
+        assert bus.utilization(0) == 0.0
+
+
+class TestController:
+    def test_phase_stream_matches_listing1(self):
+        """List 1: psum update per X, act update + T compute per L."""
+        inst = Instruction(
+            op=OpKind.COMPUTE, x=2, l=3, t=7,
+            act_tile_words=10, psum_tile_words=4,
+        )
+        phases = list(Controller(inst).phases())
+        kinds = [p.kind for p in phases]
+        expected_per_x = ["psum_update"] + ["act_update", "compute"] * 3
+        assert kinds == expected_per_x * 2
+
+    def test_compute_phase_durations(self):
+        inst = Instruction(op=OpKind.COMPUTE, x=1, l=2, t=9, act_tile_words=5)
+        computes = [p for p in Controller(inst).phases() if p.kind == "compute"]
+        assert all(p.cycles == 9 for p in computes)
+        assert len(computes) == 2
+
+    def test_update_words(self):
+        inst = Instruction(
+            op=OpKind.COMPUTE, x=1, l=1, t=1,
+            act_tile_words=11, psum_tile_words=22,
+        )
+        phases = list(Controller(inst).phases())
+        assert phases[0].words == 22  # psum update
+        assert phases[1].words == 11  # act update
+
+    def test_non_compute_rejected(self):
+        controller = Controller(Instruction(op=OpKind.LOAD_WEIGHT, t=16))
+        with pytest.raises(SimulationError, match="COMPUTE"):
+            list(controller.phases())
+
+    def test_total_compute_cycles(self):
+        inst = Instruction(op=OpKind.COMPUTE, x=3, l=4, t=5)
+        total = sum(
+            p.cycles for p in Controller(inst).phases() if p.kind == "compute"
+        )
+        assert total == inst.total_macc_cycles

@@ -1,0 +1,77 @@
+"""Overlay configuration invariants."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.fpga.devices import get_device
+from repro.overlay.config import OverlayConfig, PAPER_EXAMPLE_CONFIG
+from repro.overlay.resources import resource_report
+
+
+class TestDerivedQuantities:
+    def test_paper_example_tpe_count(self):
+        assert PAPER_EXAMPLE_CONFIG.n_tpe == 1200
+        assert PAPER_EXAMPLE_CONFIG.n_superblocks == 100
+
+    def test_paper_example_peak_gops(self):
+        # 2 ops x 1200 TPEs x 650 MHz = 1560 GOPS.
+        assert PAPER_EXAMPLE_CONFIG.peak_gops == pytest.approx(1560.0)
+
+    def test_pipeline_latency_matches_paper(self):
+        # Lat = D1 + 6 (§IV-B1).
+        assert PAPER_EXAMPLE_CONFIG.pipeline_latency == 18
+
+    def test_double_buffer_halves_usable_space(self):
+        cfg = OverlayConfig(d1=2, d2=2, d3=2, s_actbuf_words=128)
+        assert cfg.actbuf_usable_words == 64
+        single = OverlayConfig(
+            d1=2, d2=2, d3=2, s_actbuf_words=128, double_buffer=False
+        )
+        assert single.actbuf_usable_words == 128
+
+    def test_dram_words_per_cycle(self):
+        assert PAPER_EXAMPLE_CONFIG.dram_rd_words_per_cycle() == pytest.approx(20.0)
+
+    def test_default_actbus_is_one_word_per_tpe(self):
+        assert PAPER_EXAMPLE_CONFIG.actbus_wpc == 12.0
+
+    def test_explicit_actbus_width_respected(self):
+        cfg = OverlayConfig(d1=12, d2=5, d3=20, actbus_words_per_cycle=2.0)
+        assert cfg.actbus_wpc == 2.0
+
+    def test_with_grid_preserves_other_fields(self):
+        other = PAPER_EXAMPLE_CONFIG.with_grid(6, 5, 40)
+        assert other.n_tpe == 1200
+        assert other.s_actbuf_words == PAPER_EXAMPLE_CONFIG.s_actbuf_words
+        assert other.clk_h_mhz == PAPER_EXAMPLE_CONFIG.clk_h_mhz
+
+
+class TestValidation:
+    def test_nonpositive_dimension_rejected(self):
+        with pytest.raises(ResourceError):
+            OverlayConfig(d1=0, d2=1, d3=1)
+
+    def test_tiny_buffer_rejected(self):
+        with pytest.raises(ResourceError):
+            OverlayConfig(d1=1, d2=1, d3=1, s_actbuf_words=1)
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(ResourceError):
+            OverlayConfig(d1=1, d2=1, d3=1, clk_h_mhz=0.0)
+
+
+class TestResourceReport:
+    def test_paper_config_fits_vu125(self):
+        report = resource_report(PAPER_EXAMPLE_CONFIG, get_device("vu125"))
+        assert report.fits
+        assert report.n_dsp == 1200
+        assert report.dsp_utilization == pytest.approx(1.0)
+
+    def test_oversized_config_reported_not_raised(self):
+        big = OverlayConfig(d1=13, d2=5, d3=20)
+        report = resource_report(big, get_device("vu125"))
+        assert not report.fits
+
+    def test_describe_mentions_fit(self):
+        report = resource_report(PAPER_EXAMPLE_CONFIG, get_device("vu125"))
+        assert "fits" in report.describe()

@@ -1,0 +1,99 @@
+"""TPE and SuperBlock datapath models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.overlay.superblock import SuperBlock
+from repro.overlay.tpe import TPE
+
+
+class TestTPE:
+    def test_macc_basic(self):
+        tpe = TPE(s_wbuf_words=8, s_actbuf_words=8)
+        tpe.load_weights(0, np.array([3, -2], dtype=np.int16))
+        tpe.load_activations(np.array([10, 5], dtype=np.int16))
+        tpe.swap_actbuf()
+        assert tpe.macc(0, 0) == 30
+        assert tpe.macc(1, 1, cascade_in=30) == 30 - 10
+
+    def test_double_buffer_isolation(self):
+        """Loads go to the shadow half; compute sees old data until swap."""
+        tpe = TPE(s_wbuf_words=4, s_actbuf_words=8)
+        tpe.load_activations(np.array([7], dtype=np.int16))
+        tpe.swap_actbuf()
+        assert tpe.read_activation(0) == 7
+        tpe.load_activations(np.array([9], dtype=np.int16))
+        assert tpe.read_activation(0) == 7  # still the old half
+        tpe.swap_actbuf()
+        assert tpe.read_activation(0) == 9
+
+    def test_weight_load_overflow(self):
+        tpe = TPE(s_wbuf_words=4, s_actbuf_words=8)
+        with pytest.raises(SimulationError, match="overflows WBUF"):
+            tpe.load_weights(2, np.zeros(4, dtype=np.int16))
+
+    def test_activation_tile_overflow(self):
+        tpe = TPE(s_wbuf_words=4, s_actbuf_words=8)
+        with pytest.raises(SimulationError, match="overflows ActBUF"):
+            tpe.load_activations(np.zeros(5, dtype=np.int16))
+
+    def test_out_of_range_addresses(self):
+        tpe = TPE(s_wbuf_words=4, s_actbuf_words=8)
+        with pytest.raises(SimulationError, match="WBUF address"):
+            tpe.read_weight(4)
+        with pytest.raises(SimulationError, match="ActBUF address"):
+            tpe.read_activation(4)
+
+    def test_int16_saturation_on_load(self):
+        tpe = TPE(s_wbuf_words=2, s_actbuf_words=4)
+        tpe.load_weights(0, np.array([100000], dtype=np.int64))
+        assert tpe.read_weight(0) == 32767
+
+
+class TestSuperBlock:
+    def test_cascade_sums_all_tpes(self):
+        block = SuperBlock(d1=3, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)
+        for i, tpe in enumerate(block.tpes):
+            tpe.load_weights(0, np.array([i + 1], dtype=np.int16))
+            tpe.load_activations(np.array([2], dtype=np.int16))
+            tpe.swap_actbuf()
+        # (1 + 2 + 3) * 2 = 12 at the chain tail.
+        assert block.cascade_macc([0, 0, 0], [0, 0, 0]) == 12
+
+    def test_cascade_wrong_arity(self):
+        block = SuperBlock(d1=2, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)
+        with pytest.raises(SimulationError, match="address pairs"):
+            block.cascade_macc([0], [0])
+
+    def test_psum_accumulate_and_drain(self):
+        block = SuperBlock(d1=1, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)
+        block.accumulate_psum(0, 5)
+        block.accumulate_psum(0, 7)
+        block.accumulate_psum(1, -3)
+        assert list(block.read_psums(2)) == [12, -3]
+
+    def test_psum_halves_swap(self):
+        block = SuperBlock(d1=1, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)
+        block.accumulate_psum(0, 5)
+        block.swap_psumbuf()
+        assert list(block.read_psums(1)) == [0]
+        block.swap_psumbuf()
+        assert list(block.read_psums(1)) == [5]
+
+    def test_clear_psums(self):
+        block = SuperBlock(d1=1, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)
+        block.accumulate_psum(0, 5)
+        block.clear_psums()
+        assert list(block.read_psums(1)) == [0]
+
+    def test_psum_address_bounds(self):
+        block = SuperBlock(d1=1, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)
+        with pytest.raises(SimulationError, match="PSumBUF address"):
+            block.accumulate_psum(8, 1)  # half is 8 words: addresses 0-7
+        with pytest.raises(SimulationError, match="drain"):
+            block.read_psums(9)
+
+    def test_zero_tpes_rejected(self):
+        with pytest.raises(SimulationError):
+            SuperBlock(d1=0, s_wbuf_words=4, s_actbuf_words=8, s_psumbuf_words=16)

@@ -1,0 +1,90 @@
+"""Instruction encoding/decoding over the InstBUS format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IsaError
+from repro.overlay.isa import (
+    FLAG_DOUBLE_BUFFER,
+    FLAG_EWOP_ACCUMULATE,
+    FLAG_LAST,
+    Instruction,
+    OpKind,
+    decode_instruction,
+    encode_instruction,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip_simple(self):
+        inst = Instruction(
+            op=OpKind.COMPUTE, x=4, l=9, t=288,
+            act_tile_words=60, psum_tile_words=32,
+            wbuf_base=0, psum_base=128,
+            flags=FLAG_DOUBLE_BUFFER | FLAG_LAST,
+        )
+        assert decode_instruction(encode_instruction(inst)) == inst
+
+    def test_encoding_is_16_bytes(self):
+        raw = encode_instruction(Instruction(op=OpKind.NOP))
+        assert len(raw) == 16
+
+    def test_flags_decode(self):
+        inst = Instruction(
+            op=OpKind.COMPUTE,
+            flags=FLAG_DOUBLE_BUFFER | FLAG_EWOP_ACCUMULATE | FLAG_LAST,
+        )
+        decoded = decode_instruction(encode_instruction(inst))
+        assert decoded.double_buffer
+        assert decoded.ewop_accumulate
+        assert decoded.last
+
+    def test_total_macc_cycles(self):
+        inst = Instruction(op=OpKind.COMPUTE, x=3, l=5, t=7)
+        assert inst.total_macc_cycles == 105
+
+    def test_field_overflow_rejected(self):
+        inst = Instruction(op=OpKind.COMPUTE, x=1 << 20)
+        with pytest.raises(IsaError, match="does not fit"):
+            encode_instruction(inst)
+
+    def test_zero_trip_compute_rejected(self):
+        with pytest.raises(IsaError, match="positive trip"):
+            Instruction(op=OpKind.COMPUTE, x=0).validate()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(IsaError, match="16 bytes"):
+            decode_instruction(b"\x00" * 8)
+
+    def test_unknown_opcode_rejected(self):
+        raw = bytearray(encode_instruction(Instruction(op=OpKind.NOP, x=1)))
+        raw[0] |= 0x0F  # opcode field = 15, undefined
+        with pytest.raises(IsaError, match="unknown opcode"):
+            decode_instruction(bytes(raw))
+
+    def test_padding_bits_rejected(self):
+        raw = bytearray(encode_instruction(Instruction(op=OpKind.NOP)))
+        raw[15] |= 0x80  # beyond the 124 used bits
+        with pytest.raises(IsaError, match="padding"):
+            decode_instruction(bytes(raw))
+
+
+@given(
+    op=st.sampled_from([OpKind.COMPUTE, OpKind.LOAD_WEIGHT, OpKind.WRITE_BACK]),
+    x=st.integers(1, (1 << 20) - 1),
+    l=st.integers(1, (1 << 20) - 1),
+    t=st.integers(1, (1 << 20) - 1),
+    act=st.integers(0, (1 << 14) - 1),
+    psum=st.integers(0, (1 << 14) - 1),
+    wbase=st.integers(0, (1 << 12) - 1),
+    pbase=st.integers(0, (1 << 12) - 1),
+    flags=st.integers(0, 255),
+)
+def test_round_trip_property(op, x, l, t, act, psum, wbase, pbase, flags):
+    """Any in-range instruction survives encode -> decode unchanged."""
+    inst = Instruction(
+        op=op, x=x, l=l, t=t,
+        act_tile_words=act, psum_tile_words=psum,
+        wbuf_base=wbase, psum_base=pbase, flags=flags,
+    )
+    assert decode_instruction(encode_instruction(inst)) == inst

@@ -1,0 +1,121 @@
+"""Multi-FPGA partitioning and deployment planning."""
+
+import pytest
+
+from repro.analysis.partition import (
+    partition_by_weight_groups,
+    plan_deployment,
+)
+from repro.errors import FTDLError
+from repro.overlay.config import OverlayConfig
+from repro.units import BYTES_PER_WORD
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
+from repro.workloads.network import Network
+
+
+def _net() -> Network:
+    return Network(
+        name="n", application="test",
+        layers=(
+            ConvLayer("c1", 4, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3,
+                      padding=1),
+            EwopLayer("r1", op="relu", n_elements=8 * 64),
+            ConvLayer("c2", 8, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3,
+                      padding=1),
+            EwopLayer("r2", op="relu", n_elements=8 * 64),
+            MatMulLayer("fc1", in_features=512, out_features=32),
+            MatMulLayer("fc2", in_features=32, out_features=10),
+        ),
+    )
+
+
+def _tied_net() -> Network:
+    return Network(
+        name="tied", application="test",
+        layers=tuple(
+            MatMulLayer(f"t{i}", 16, 16, weight_group=f"g{i % 2}")
+            for i in range(8)
+        ),
+    )
+
+
+class TestPartitioning:
+    def test_covers_all_layers_once(self):
+        net = _net()
+        parts = partition_by_weight_groups(net, 3)
+        names = [l.name for p in parts for l in p.layers]
+        assert names == [l.name for l in net.layers]
+
+    def test_single_device_is_whole_network(self):
+        parts = partition_by_weight_groups(_net(), 1)
+        assert len(parts) == 1
+        assert len(parts[0].layers) == len(_net().layers)
+
+    def test_ewop_follows_producer(self):
+        parts = partition_by_weight_groups(_net(), 3)
+        for part in parts:
+            layer_names = [l.name for l in part.layers]
+            if "r1" in layer_names:
+                assert "c1" in layer_names
+            if "r2" in layer_names:
+                assert "c2" in layer_names
+
+    def test_weight_groups_stay_together(self):
+        parts = partition_by_weight_groups(_tied_net(), 2)
+        for part in parts:
+            groups = {l.weight_group for l in part.accelerated_layers()}
+            # No group is split across partitions: each partition's groups
+            # are disjoint from the others'.
+            for other in parts:
+                if other is part:
+                    continue
+                other_groups = {
+                    l.weight_group for l in other.accelerated_layers()
+                }
+                assert not (groups & other_groups)
+
+    def test_more_devices_than_groups(self):
+        parts = partition_by_weight_groups(_tied_net(), 10)
+        assert 1 <= len(parts) <= 2  # only two groups exist
+
+    def test_balanced_by_unique_bytes(self):
+        net = _net()
+        parts = partition_by_weight_groups(net, 2)
+        sizes = [p.weight_words for p in parts]
+        assert max(sizes) < net.weight_words  # both sides got something
+
+    def test_invalid_device_count(self):
+        with pytest.raises(FTDLError):
+            partition_by_weight_groups(_net(), 0)
+
+
+class TestDeploymentPlan:
+    @pytest.fixture
+    def config(self):
+        return OverlayConfig(
+            d1=4, d2=2, d3=2, s_actbuf_words=128,
+            s_wbuf_words=1024, s_psumbuf_words=2048,
+        )
+
+    def test_residency_detected(self, config):
+        """The demo net's partitions fit the 16-TPE WBUF budget."""
+        plan = plan_deployment(_net(), config, n_devices=2)
+        budget = config.n_tpe * config.s_wbuf_words * BYTES_PER_WORD
+        for stage in plan.stages:
+            assert stage.resident == (stage.stored_bytes <= budget)
+
+    def test_pipeline_bottleneck(self, config):
+        plan = plan_deployment(_net(), config, n_devices=2)
+        assert plan.bottleneck_cycles == max(
+            s.result.total_cycles for s in plan.stages
+        )
+        assert plan.pipeline_fps > 0
+
+    def test_pipeline_beats_or_matches_stage_sum(self, config):
+        plan = plan_deployment(_net(), config, n_devices=3)
+        serial = sum(s.result.total_cycles for s in plan.stages)
+        assert plan.bottleneck_cycles <= serial
+
+    def test_single_device_plan(self, config):
+        plan = plan_deployment(_net(), config, n_devices=1)
+        assert plan.n_devices == 1

@@ -1,0 +1,74 @@
+"""FPGA power model calibration and scaling behaviour."""
+
+import pytest
+
+from repro.dram.power import DramPowerReport
+from repro.errors import FTDLError
+from repro.fpga.devices import get_device
+from repro.overlay.config import PAPER_EXAMPLE_CONFIG, OverlayConfig
+from repro.power.model import estimate_overlay_power
+
+
+@pytest.fixture
+def vu125():
+    return get_device("vu125")
+
+
+class TestCalibration:
+    def test_paper_operating_point(self, vu125):
+        """1200 TPEs at 650 MHz, ~81 % utilization: the paper reports
+        45.8 W — the model must land in that neighbourhood."""
+        report = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.811)
+        assert 35.0 < report.total_w < 55.0
+
+    def test_gops_per_watt_near_paper(self, vu125):
+        report = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.811)
+        attained = 1560.0 * 0.811
+        assert report.gops_per_watt(attained) == pytest.approx(27.6, rel=0.25)
+
+    def test_breakdown_sums(self, vu125):
+        report = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.8)
+        assert report.total_w == pytest.approx(
+            report.dsp_w + report.bram_w + report.clb_w
+            + report.clock_w + report.static_w + report.dram_w
+        )
+
+
+class TestScaling:
+    def test_power_scales_with_utilization(self, vu125):
+        low = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.2)
+        high = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.9)
+        assert high.total_w > low.total_w
+        assert high.dsp_w == pytest.approx(low.dsp_w * 4.5)
+
+    def test_power_scales_with_size(self, vu125):
+        small = OverlayConfig(d1=12, d2=1, d3=20)
+        big = PAPER_EXAMPLE_CONFIG
+        p_small = estimate_overlay_power(small, vu125, 0.8)
+        p_big = estimate_overlay_power(big, vu125, 0.8)
+        assert p_big.dsp_w == pytest.approx(5 * p_small.dsp_w)
+        assert p_big.total_w > p_small.total_w
+
+    def test_power_scales_with_frequency(self, vu125):
+        slow = OverlayConfig(d1=12, d2=5, d3=20, clk_h_mhz=325.0)
+        fast = PAPER_EXAMPLE_CONFIG
+        p_slow = estimate_overlay_power(slow, vu125, 0.8)
+        p_fast = estimate_overlay_power(fast, vu125, 0.8)
+        assert p_fast.dsp_w == pytest.approx(2 * p_slow.dsp_w)
+
+    def test_dram_report_added(self, vu125):
+        dram = DramPowerReport(
+            read_energy_nj=1e6, write_energy_nj=0.0,
+            background_energy_nj=0.0, window_seconds=1e-3,
+        )
+        with_dram = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.8, dram)
+        without = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.8)
+        assert with_dram.total_w == pytest.approx(without.total_w + 1.0)
+
+    def test_bad_utilization_rejected(self, vu125):
+        with pytest.raises(FTDLError):
+            estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 1.5)
+
+    def test_zero_power_guard(self, vu125):
+        report = estimate_overlay_power(PAPER_EXAMPLE_CONFIG, vu125, 0.0)
+        assert report.gops_per_watt(0.0) == 0.0

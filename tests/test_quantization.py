@@ -1,0 +1,74 @@
+"""Quantization error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quantization import (
+    precision_sweep,
+    quantized_layer_error,
+)
+from repro.errors import FTDLError
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
+
+
+class TestQuantizedLayerError:
+    def test_16bit_is_high_fidelity(self, small_conv, rng):
+        weights = rng.normal(scale=0.5, size=(8, 6, 3, 3))
+        acts = rng.normal(size=(6, 8, 8))
+        report = quantized_layer_error(small_conv, weights, acts, 16)
+        assert report.sqnr_db > 60.0
+        assert report.max_abs_error < 0.01 * report.output_rms
+
+    def test_mm_layer(self, small_mm, rng):
+        weights = rng.normal(size=(10, 24))
+        acts = rng.normal(size=(24, 4))
+        report = quantized_layer_error(small_mm, weights, acts, 12)
+        assert report.sqnr_db > 40.0
+
+    def test_effective_bits(self, small_mm, rng):
+        weights = rng.normal(size=(10, 24))
+        acts = rng.normal(size=(24, 4))
+        report = quantized_layer_error(small_mm, weights, acts, 8)
+        assert report.effective_bits == pytest.approx(report.sqnr_db / 6.02)
+
+    def test_zero_signal(self, small_mm):
+        report = quantized_layer_error(
+            small_mm, np.zeros((10, 24)), np.zeros((24, 4)), 8
+        )
+        assert report.sqnr_db == float("inf")  # zero error on zero signal
+
+    def test_ewop_rejected(self, rng):
+        layer = EwopLayer("e", op="relu", n_elements=4)
+        with pytest.raises(FTDLError):
+            quantized_layer_error(layer, np.zeros(1), np.zeros(1), 8)
+
+
+class TestPrecisionSweep:
+    def test_sqnr_monotone_in_bits(self, small_conv, rng):
+        """More bits, less noise — the ~6 dB/bit staircase."""
+        reports = precision_sweep(small_conv, rng)
+        sqnrs = [r.sqnr_db for r in reports]
+        assert sqnrs == sorted(sqnrs)
+
+    def test_roughly_six_db_per_bit(self, small_mm, rng):
+        reports = precision_sweep(small_mm, rng, bit_widths=(6, 8, 10, 12))
+        slopes = [
+            (b.sqnr_db - a.sqnr_db) / (b.n_bits - a.n_bits)
+            for a, b in zip(reports, reports[1:])
+        ]
+        for slope in slopes:
+            assert 4.0 < slope < 8.0
+
+    def test_conv_and_mm_both_supported(self, small_conv, small_mm, rng):
+        assert len(precision_sweep(small_conv, rng, bit_widths=(8, 16))) == 2
+        assert len(precision_sweep(small_mm, rng, bit_widths=(8, 16))) == 2
+
+    def test_strided_conv_reference_correct(self, strided_conv, rng):
+        """The float reference handles stride/padding like the golden."""
+        report = quantized_layer_error(
+            strided_conv,
+            rng.normal(size=(6, 4, 3, 3)),
+            rng.normal(size=(4, 11, 11)),
+            16,
+        )
+        assert report.sqnr_db > 60.0

@@ -1,0 +1,47 @@
+"""Random-sampling scheduler baseline."""
+
+import pytest
+
+from repro.compiler.constraints import check_constraints
+from repro.compiler.randsearch import random_schedule_search
+from repro.compiler.search import ScheduleSearch
+from repro.errors import ScheduleError
+
+
+class TestRandomSearch:
+    def test_returns_feasible_schedule(self, small_conv, tiny_config):
+        schedule, feasible = random_schedule_search(
+            small_conv, tiny_config, budget=400, seed=1
+        )
+        assert feasible > 0
+        assert check_constraints(
+            small_conv, tiny_config, schedule.mapping
+        ) == []
+
+    def test_deterministic_per_seed(self, small_conv, tiny_config):
+        a, _ = random_schedule_search(small_conv, tiny_config, budget=200, seed=7)
+        b, _ = random_schedule_search(small_conv, tiny_config, budget=200, seed=7)
+        assert a.estimate.c_exe == b.estimate.c_exe
+        assert a.mapping.trips == b.mapping.trips
+
+    def test_never_beats_structured_search(self, small_conv, tiny_config):
+        structured = ScheduleSearch(small_conv, tiny_config).run()[0]
+        random_best, _ = random_schedule_search(
+            small_conv, tiny_config, budget=500, seed=3
+        )
+        assert random_best.estimate.c_exe >= structured.estimate.c_exe
+
+    def test_more_budget_never_worse(self, small_mm, tiny_config):
+        small, _ = random_schedule_search(small_mm, tiny_config, budget=50, seed=5)
+        large, _ = random_schedule_search(small_mm, tiny_config, budget=800, seed=5)
+        assert large.estimate.c_exe <= small.estimate.c_exe
+
+    def test_bad_budget_rejected(self, small_mm, tiny_config):
+        with pytest.raises(ScheduleError):
+            random_schedule_search(small_mm, tiny_config, budget=0)
+
+    def test_mm_layer_supported(self, small_mm, tiny_config):
+        schedule, _ = random_schedule_search(
+            small_mm, tiny_config, budget=300, seed=2
+        )
+        assert schedule.estimate.useful_maccs == small_mm.maccs

@@ -1,0 +1,33 @@
+"""The markdown report generator."""
+
+from repro.tools.report import generate_report, main
+
+
+class TestGenerateReport:
+    def test_quick_report_sections(self):
+        text = generate_report(full=False)
+        assert "# FTDL reproduction report" in text
+        assert "## Table I" in text
+        assert "## Fig. 6" in text
+        assert "## Fig. 7" in text
+        assert "Skipped" in text  # Table II deferred without --full
+
+    def test_quick_report_has_all_models(self):
+        text = generate_report(full=False)
+        for model in ("GoogLeNet", "ResNet50", "AlphaGoZero",
+                      "Sentimental-seqCNN", "Sentimental-seqLSTM"):
+            assert model in text
+
+    def test_fig6_rows_for_both_devices(self):
+        text = generate_report(full=False)
+        assert "### vu125" in text
+        assert "### 7vx330t" in text
+        assert text.count("| (1") >= 10  # grid rows in the tables
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+        assert out.read_text().startswith("# FTDL reproduction report")

@@ -1,0 +1,107 @@
+"""WBUF residency planning (the end-to-end purpose of Objective 2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler.residency import plan_residency
+from repro.errors import ScheduleError
+from repro.overlay.config import OverlayConfig
+from repro.units import BYTES_PER_WORD
+from repro.workloads.layers import ConvLayer, MatMulLayer
+from repro.workloads.network import Network
+
+
+@pytest.fixture
+def config():
+    return OverlayConfig(
+        d1=4, d2=2, d3=2, s_actbuf_words=128,
+        s_wbuf_words=256, s_psumbuf_words=2048,
+    )
+
+
+def _small_net() -> Network:
+    return Network(
+        name="small", application="test",
+        layers=(
+            ConvLayer("c1", 4, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3,
+                      padding=1),
+            ConvLayer("c2", 8, 8, in_h=8, in_w=8, kernel_h=3, kernel_w=3,
+                      padding=1),
+            MatMulLayer("fc", in_features=512, out_features=16),
+        ),
+    )
+
+
+def _tied_net() -> Network:
+    return Network(
+        name="tied", application="test",
+        layers=tuple(
+            MatMulLayer(f"t{i}", 32, 32, weight_group="shared")
+            for i in range(4)
+        ),
+    )
+
+
+class TestPlanResidency:
+    def test_budget_respected(self, config):
+        plan = plan_residency(_small_net(), config)
+        assert plan.resident_words <= plan.budget_words
+
+    def test_everything_resident_when_budget_allows(self, config):
+        # 16 TPEs x 256 words = 4096 words; the small net's weights with
+        # Objective 2 schedules should mostly fit.
+        plan = plan_residency(_small_net(), config)
+        assert plan.n_resident >= 2
+
+    def test_nothing_resident_on_tiny_budget(self):
+        tiny = OverlayConfig(
+            d1=1, d2=1, d3=1, s_actbuf_words=64,
+            s_wbuf_words=16, s_psumbuf_words=128,
+        )
+        plan = plan_residency(_small_net(), tiny)
+        assert plan.n_resident == 0
+        assert plan.streamed_bytes_per_frame > 0
+
+    def test_residency_reduces_cycles(self, config):
+        plan = plan_residency(_small_net(), config)
+        streamed_total = sum(l.schedule.cycles for l in plan.layers)
+        assert plan.total_cycles() <= streamed_total
+        assert plan.fps() >= config.clk_h_mhz * 1e6 / streamed_total
+
+    def test_streamed_bytes_accounting(self, config):
+        plan = plan_residency(_small_net(), config)
+        expected = BYTES_PER_WORD * sum(
+            l.stored_words for l in plan.layers if not l.resident
+        )
+        assert plan.streamed_bytes_per_frame == expected
+
+    def test_tied_group_single_charge(self, config):
+        """Four weight-tied layers must be charged once and decided
+        together."""
+        plan = plan_residency(_tied_net(), config)
+        decisions = {l.resident for l in plan.layers}
+        assert len(decisions) == 1  # all the same
+        if plan.layers[0].resident:
+            # One copy of 32x32 weights, not four.
+            assert plan.resident_words == sum(
+                l.stored_words for l in plan.layers if l.resident
+            )
+            assert plan.layers[0].stored_words <= plan.budget_words
+
+    def test_global_residency_flag_rejected(self, config):
+        resident = dataclasses.replace(config, weights_resident=True)
+        with pytest.raises(ScheduleError, match="streaming config"):
+            plan_residency(_small_net(), resident)
+
+    def test_balance_objective_packs_more_than_performance(self):
+        """The Objective-2 story: lower duplication -> more layers
+        resident at the same budget (or at worst the same)."""
+        config = OverlayConfig(
+            d1=4, d2=2, d3=2, s_actbuf_words=128,
+            s_wbuf_words=64, s_psumbuf_words=2048,
+        )
+        net = _small_net()
+        balance = plan_residency(net, config, objective="balance")
+        performance = plan_residency(net, config, objective="performance")
+        assert balance.n_resident >= performance.n_resident

@@ -1,0 +1,106 @@
+"""Search optimality: the beamed scheduler vs exhaustive enumeration.
+
+For micro layers the structured space is small enough to enumerate
+completely with an *independent* brute-force walker; the scheduler's
+winner must match the brute-force optimum (or beat it, if the walker's
+coarser grid misses a tile).  This guards the beam heuristics against
+silently discarding the optimal region.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import prod
+
+import pytest
+
+from repro.compiler.adjacency import adjacency_matrix
+from repro.compiler.constraints import check_constraints
+from repro.compiler.mapping import MappingVectors
+from repro.compiler.model import evaluate_mapping
+from repro.compiler.search import ScheduleSearch
+from repro.overlay.config import OverlayConfig
+from repro.units import ceil_div
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+def brute_force_best_cycles(layer, config) -> int:
+    """Exhaustively enumerate every mapping on the full divisor grid of
+    each loop, independent of the scheduler's candidate generation."""
+    names = tuple(layer.loop_sizes)
+    sizes = layer.loop_sizes
+    matrix = adjacency_matrix(layer)
+
+    def all_tiles(size):
+        return [t for t in range(1, size + 1)]
+
+    per_loop_options = []
+    for name in names:
+        size = sizes[name]
+        options = []
+        levels = [lvl for lvl in ("D1", "D2", "D3", "X", "L", "T")
+                  if matrix[lvl][name]]
+        # Every assignment of tile sizes to allowed levels covering size.
+        for combo in itertools.product(
+            *(all_tiles(size) for _ in levels)
+        ):
+            if prod(combo) < size:
+                continue
+            # Skip grossly padded combos the optimum never needs.
+            if prod(combo) > 2 * size:
+                continue
+            assignment = {lvl: 1 for lvl in ("D1", "D2", "D3", "X", "L", "T")}
+            assignment.update(dict(zip(levels, combo)))
+            options.append(assignment)
+        per_loop_options.append(options)
+
+    best = None
+    for choice in itertools.product(*per_loop_options):
+        partial = {
+            lvl: {name: choice[i][lvl] for i, name in enumerate(names)}
+            for lvl in ("D1", "D2", "D3", "X", "L", "T")
+        }
+        mapping = MappingVectors.from_partial(names, partial)
+        if check_constraints(layer, config, mapping):
+            continue
+        cycles = evaluate_mapping(layer, config, mapping).c_exe
+        if best is None or cycles < best:
+            best = cycles
+    assert best is not None, "brute force found no feasible mapping"
+    return best
+
+
+@pytest.mark.parametrize(
+    "layer",
+    [
+        MatMulLayer("mm44", in_features=4, out_features=4, batch=2),
+        MatMulLayer("mm63", in_features=6, out_features=3, batch=1),
+        ConvLayer("c1x1", 3, 4, in_h=3, in_w=3, kernel_h=1, kernel_w=1),
+    ],
+    ids=lambda l: l.name,
+)
+def test_search_matches_brute_force(layer):
+    config = OverlayConfig(
+        d1=2, d2=2, d3=2, s_actbuf_words=32,
+        s_wbuf_words=64, s_psumbuf_words=64,
+    )
+    searched = ScheduleSearch(
+        layer, config, spatial_beam=None, temporal_beam=None
+    ).run()[0]
+    brute = brute_force_best_cycles(layer, config)
+    assert searched.cycles <= brute
+
+
+def test_forced_x_is_never_suboptimal():
+    """The scheduler derives LoopX as the minimal cover; check against a
+    brute force that also enumerates padded X choices."""
+    layer = MatMulLayer("mm", in_features=5, out_features=3, batch=2)
+    config = OverlayConfig(
+        d1=2, d2=2, d3=1, s_actbuf_words=16,
+        s_wbuf_words=32, s_psumbuf_words=32,
+    )
+    searched = ScheduleSearch(
+        layer, config, spatial_beam=None, temporal_beam=None
+    ).run()[0]
+    brute = brute_force_best_cycles(layer, config)
+    assert searched.cycles <= brute

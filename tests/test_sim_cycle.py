@@ -1,0 +1,123 @@
+"""Cycle simulator: functional equivalence with the golden models and
+timing consistency with the analytical model."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import compile_schedule
+from repro.compiler.search import schedule_layer
+from repro.errors import SimulationError
+from repro.overlay.config import OverlayConfig
+from repro.sim.cycle import CycleSimulator
+from repro.sim.functional import golden_layer_output, random_layer_operands
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+def _run(layer, config, rng, objective="performance"):
+    schedule = schedule_layer(layer, config, objective=objective)
+    compiled = compile_schedule(schedule)
+    weights, acts = random_layer_operands(layer, rng)
+    run = CycleSimulator(config).run_layer(compiled, weights, acts)
+    return schedule, run
+
+
+class TestFunctionalEquivalence:
+    def test_conv_matches_golden(self, small_conv, tiny_config, rng):
+        _, run = _run(small_conv, tiny_config, rng)
+        assert run.golden_match
+
+    def test_strided_conv_matches_golden(self, strided_conv, tiny_config, rng):
+        _, run = _run(strided_conv, tiny_config, rng)
+        assert run.golden_match
+
+    def test_pointwise_conv_matches_golden(self, pointwise_conv, tiny_config, rng):
+        _, run = _run(pointwise_conv, tiny_config, rng)
+        assert run.golden_match
+
+    def test_mm_matches_golden(self, small_mm, tiny_config, rng):
+        _, run = _run(small_mm, tiny_config, rng)
+        assert run.golden_match
+
+    def test_balance_objective_also_correct(self, small_conv, tiny_config, rng):
+        _, run = _run(small_conv, tiny_config, rng, objective="balance")
+        assert run.golden_match
+
+    def test_useful_maccs_exact(self, small_conv, tiny_config, rng):
+        _, run = _run(small_conv, tiny_config, rng)
+        assert run.useful_maccs == small_conv.maccs
+
+    def test_issued_at_least_useful(self, strided_conv, tiny_config, rng):
+        _, run = _run(strided_conv, tiny_config, rng)
+        assert run.issued_maccs >= run.useful_maccs
+
+    def test_corrupted_weights_detected(self, small_mm, tiny_config, rng):
+        """The golden check actually checks: feed different weights to the
+        simulator than to the oracle and it must raise."""
+        schedule = schedule_layer(small_mm, tiny_config)
+        compiled = compile_schedule(schedule)
+        weights, acts = random_layer_operands(small_mm, rng)
+        sim = CycleSimulator(tiny_config)
+        run = sim.run_layer(compiled, weights, acts)
+        golden_other = golden_layer_output(small_mm, weights + 1, acts)
+        assert not np.array_equal(run.output, golden_other)
+
+    def test_extreme_operands_wrap_consistently(self, tiny_config, rng):
+        """Full-range int16 operands: wrap-around must match the oracle."""
+        layer = MatMulLayer("mm", in_features=16, out_features=4, batch=2)
+        schedule = schedule_layer(layer, tiny_config)
+        compiled = compile_schedule(schedule)
+        weights, acts = random_layer_operands(layer, rng, magnitude=32767)
+        run = CycleSimulator(tiny_config).run_layer(compiled, weights, acts)
+        assert run.golden_match
+
+
+class TestTimingConsistency:
+    def test_sim_cycles_close_to_model(self, small_conv, tiny_config, rng):
+        """The pipeline timeline and the Eqn-12 max() model agree within
+        25 % on a compute-bound layer."""
+        schedule, run = _run(small_conv, tiny_config, rng)
+        model = schedule.estimate.c_exe
+        assert abs(run.cycles - model) / model < 0.25
+
+    def test_sim_never_faster_than_compute_floor(self, small_conv, tiny_config, rng):
+        schedule, run = _run(small_conv, tiny_config, rng)
+        floor = schedule.mapping.x * schedule.mapping.l * schedule.mapping.t
+        assert run.cycles >= floor
+
+    def test_double_buffer_ablation_slower(self, small_conv, rng):
+        """Serializing communication and computation must cost cycles."""
+        base = OverlayConfig(
+            d1=3, d2=2, d3=2, s_actbuf_words=64,
+            s_wbuf_words=256, s_psumbuf_words=512,
+        )
+        serial = OverlayConfig(
+            d1=3, d2=2, d3=2, s_actbuf_words=64,
+            s_wbuf_words=256, s_psumbuf_words=512, double_buffer=False,
+        )
+        _, run_db = _run(small_conv, base, rng)
+        _, run_serial = _run(small_conv, serial, rng)
+        assert run_serial.cycles > run_db.cycles
+        assert run_serial.golden_match
+
+    def test_efficiency_in_unit_interval(self, small_conv, tiny_config, rng):
+        _, run = _run(small_conv, tiny_config, rng)
+        assert 0.0 < run.hardware_efficiency <= 1.0
+
+    def test_trace_contains_all_streams(self, small_conv, tiny_config, rng):
+        _, run = _run(small_conv, tiny_config, rng)
+        assert run.trace.total_words("RD", "weight") > 0
+        assert run.trace.total_words("RD", "act") > 0
+        assert run.trace.total_words("WR", "psum") > 0
+
+    def test_weight_trace_matches_stored_volume(self, small_conv, tiny_config, rng):
+        schedule, run = _run(small_conv, tiny_config, rng)
+        mapping = schedule.mapping
+        stored = mapping.used_tpes() * small_conv.weight_footprint(
+            mapping.tile(("X", "L", "T"))
+        )
+        assert run.trace.total_words("RD", "weight") == stored
+
+    def test_bus_busy_recorded(self, small_conv, tiny_config, rng):
+        _, run = _run(small_conv, tiny_config, rng)
+        assert any("actbus" in name for name in run.bus_busy)
+        assert run.bus_busy["dram_rd"] > 0

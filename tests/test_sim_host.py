@@ -1,0 +1,125 @@
+"""Host-CPU EWOP execution and requantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.host import HostCpu, choose_shift, requantize
+from repro.workloads.layers import EwopLayer, PoolLayer
+
+
+class TestRequantize:
+    def test_identity_at_zero_shift(self):
+        acc = np.array([100, -200, 32767], dtype=np.int64)
+        assert np.array_equal(requantize(acc, 0), acc.astype(np.int16))
+
+    def test_round_half_up(self):
+        acc = np.array([3, 5, -3], dtype=np.int64)
+        # shift 1: 3 -> 2, 5 -> 3, -3 -> -1 (arithmetic shift of -2).
+        assert list(requantize(acc, 1)) == [2, 3, -1]
+
+    def test_saturation(self):
+        acc = np.array([1 << 20], dtype=np.int64)
+        assert requantize(acc, 2)[0] == 32767
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(SimulationError):
+            requantize(np.zeros(1, dtype=np.int64), -1)
+
+    @given(st.integers(-(1 << 40), 1 << 40), st.integers(0, 30))
+    def test_always_int16(self, value, shift):
+        out = requantize(np.array([value], dtype=np.int64), shift)
+        assert -32768 <= int(out[0]) <= 32767
+
+    def test_choose_shift_brings_in_range(self):
+        acc = np.array([1 << 22, -(1 << 21)], dtype=np.int64)
+        shift = choose_shift(acc)
+        out = requantize(acc, shift)
+        assert int(np.abs(out).max()) <= 32767
+        # Minimal: one less shift would overflow.
+        assert (int(np.abs(acc).max()) >> max(shift - 1, 0)) > 32767 or shift == 0
+
+    def test_choose_shift_zero_for_small(self):
+        assert choose_shift(np.array([100, -100], dtype=np.int64)) == 0
+
+
+class TestHostOps:
+    def test_relu(self):
+        host = HostCpu()
+        layer = EwopLayer("r", op="relu", n_elements=4)
+        out = host.execute(layer, np.array([-3, 0, 5, -1], dtype=np.int16))
+        assert list(out) == [0, 0, 5, 0]
+        assert host.total_ops == 4
+
+    def test_add_relu(self):
+        host = HostCpu()
+        layer = EwopLayer("a", op="add_relu", n_elements=3, ops_per_element=2)
+        out = host.execute(
+            layer,
+            np.array([1, -5, 10], dtype=np.int16),
+            skip=np.array([2, 3, -20], dtype=np.int16),
+        )
+        assert list(out) == [3, 0, 0]
+
+    def test_add_requires_skip(self):
+        host = HostCpu()
+        layer = EwopLayer("a", op="add", n_elements=1)
+        with pytest.raises(SimulationError, match="skip"):
+            host.execute(layer, np.zeros(1, dtype=np.int16))
+
+    def test_add_saturates(self):
+        host = HostCpu()
+        layer = EwopLayer("a", op="add", n_elements=1)
+        out = host.execute(
+            layer,
+            np.array([30000], dtype=np.int16),
+            skip=np.array([30000], dtype=np.int16),
+        )
+        assert out[0] == 32767
+
+    def test_max_pool(self):
+        host = HostCpu()
+        layer = PoolLayer("p", channels=1, in_h=4, in_w=4, kernel=2, stride=2)
+        x = np.arange(16, dtype=np.int16).reshape(1, 4, 4)
+        out = host.execute(layer, x)
+        assert out.shape == (1, 2, 2)
+        assert out[0].tolist() == [[5, 7], [13, 15]]
+
+    def test_avg_pool(self):
+        host = HostCpu()
+        layer = PoolLayer("p", channels=1, in_h=2, in_w=2, kernel=2, stride=2,
+                          op="pool_avg")
+        x = np.array([[[4, 8], [12, 16]]], dtype=np.int16)
+        assert host.execute(layer, x)[0, 0, 0] == 10
+
+    def test_padded_max_pool_ignores_padding(self):
+        host = HostCpu()
+        layer = PoolLayer("p", channels=1, in_h=2, in_w=2, kernel=3, stride=2,
+                          padding=1)
+        x = np.full((1, 2, 2), -5, dtype=np.int16)
+        # Padding is -inf-like for max pooling, so the max is a real value.
+        assert host.execute(layer, x).max() == -5
+
+    def test_softmax_passthrough(self):
+        host = HostCpu()
+        layer = EwopLayer("s", op="softmax", n_elements=3, ops_per_element=3)
+        x = np.array([5, -2, 9], dtype=np.int16)
+        assert np.array_equal(host.execute(layer, x), x)
+
+    def test_unknown_op_rejected(self):
+        host = HostCpu()
+        layer = EwopLayer("x", op="fft", n_elements=1)
+        with pytest.raises(SimulationError, match="no implementation"):
+            host.execute(layer, np.zeros(1, dtype=np.int16))
+
+    def test_cycles_for(self):
+        host = HostCpu(ops_per_cycle=8.0)
+        layer = EwopLayer("r", op="relu", n_elements=100)
+        assert host.cycles_for(layer) == 13  # ceil(100 / 8)
+
+    def test_missing_pool_param_raises(self):
+        host = HostCpu()
+        layer = EwopLayer("p", op="pool_max", n_elements=4)
+        with pytest.raises(Exception, match="parameter"):
+            host.execute(layer, np.zeros((1, 2, 2), dtype=np.int16))

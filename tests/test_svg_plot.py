@@ -1,0 +1,69 @@
+"""SVG chart rendering: well-formedness and content."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.analysis.svg_plot import svg_lines, svg_scatter
+from repro.errors import FTDLError
+
+
+def _parse(svg: str):
+    return xml.dom.minidom.parseString(svg)
+
+
+class TestScatter:
+    def test_well_formed_xml(self):
+        svg = svg_scatter([1, 2, 3], [4, 5, 6], title="t & t", x_label="<x>")
+        doc = _parse(svg)
+        assert doc.documentElement.tagName == "svg"
+
+    def test_one_circle_per_point(self):
+        svg = svg_scatter([1, 2, 3, 4], [1, 2, 3, 4])
+        assert svg.count("<circle") == 4
+
+    def test_color_axis(self):
+        svg = svg_scatter([1, 2], [1, 2], colors=[0.0, 1.0])
+        _parse(svg)
+        assert "E_WBUF" in svg
+        # Low and high colours differ.
+        fills = [part.split('"')[0] for part in svg.split('fill="rgb')[1:]]
+        assert len(set(fills)) == 2
+
+    def test_log_axis(self):
+        svg = svg_scatter([1, 10, 100], [1, 2, 3], log_x=True)
+        _parse(svg)
+        assert ">10<" in svg  # decade tick label
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(FTDLError):
+            svg_scatter([0, 1], [1, 2], log_x=True)
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(FTDLError):
+            svg_scatter([1, 2], [1])
+
+
+class TestLines:
+    def test_well_formed_with_legend(self):
+        svg = svg_lines([1, 2, 3], {"a & b": [1, 2, 3], "c": [3, 2, 1]})
+        _parse(svg)
+        assert svg.count("<polyline") == 2
+        assert "a &amp; b" in svg
+
+    def test_series_length_checked(self):
+        with pytest.raises(FTDLError):
+            svg_lines([1, 2], {"a": [1]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(FTDLError):
+            svg_lines([1, 2], {})
+
+    def test_constant_series_renders(self):
+        svg = svg_lines([1, 2, 3], {"flat": [5, 5, 5]})
+        _parse(svg)
+
+    def test_axis_labels_present(self):
+        svg = svg_lines([1, 2], {"s": [1, 2]}, x_label="DSPs",
+                        y_label="fmax (MHz)")
+        assert "DSPs" in svg and "fmax (MHz)" in svg

@@ -1,0 +1,89 @@
+"""Command-line tools (argument parsing + end-to-end invocations)."""
+
+import pytest
+
+from repro.tools import characterize, compile as compile_tool, timing
+
+
+class TestCompileTool:
+    def test_single_conv(self, capsys):
+        code = compile_tool.main(
+            ["--conv", "8,4,16,16,3,3", "--padding", "1", "--grid", "3,2,2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cli_conv" in out and "cycles" in out
+
+    def test_single_mm_with_isa_dump(self, capsys):
+        code = compile_tool.main(
+            ["--mm", "16,32,2", "--grid", "3,2,2", "--dump-isa"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "InstBUS stream" in out
+        hex_lines = [l.strip() for l in out.splitlines() if l.startswith("  ")]
+        assert all(len(l) == 32 for l in hex_lines)  # 16 bytes per inst
+
+    def test_balance_objective(self, capsys):
+        code = compile_tool.main(
+            ["--conv", "8,4,16,16,3,3", "--grid", "3,2,2",
+             "--objective", "balance"]
+        )
+        assert code == 0
+
+    def test_bad_grid_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            compile_tool.main(["--mm", "4,4,1", "--grid", "3,2"])
+
+    def test_model_and_layer_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            compile_tool.main(["--model", "GoogLeNet", "--mm", "4,4,1"])
+
+
+class TestTimingTool:
+    def test_overlay_report(self, capsys):
+        code = timing.main(["--device", "vu125", "--grid", "12,5,20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fmax" in out and "double-pumped" in out
+
+    def test_systolic_report(self, capsys):
+        code = timing.main(["--device", "vu125", "--systolic", "16,16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "systolic" in out
+
+    def test_paths_listing(self, capsys):
+        code = timing.main(
+            ["--device", "7vx330t", "--grid", "10,2,16", "--paths"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dsp_cascade" in out
+
+    def test_unknown_device_errors(self, capsys):
+        code = timing.main(["--device", "nope", "--grid", "1,1,1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_oversized_grid_errors(self, capsys):
+        code = timing.main(["--device", "vu125", "--grid", "100,100,100"])
+        assert code == 1
+
+
+class TestCharacterizeTool:
+    def test_table(self, capsys):
+        code = characterize.main([])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GoogLeNet" in out and "Sentimental-seqLSTM" in out
+
+    def test_single_model_with_layers(self, capsys):
+        code = characterize.main(["--model", "AlphaGoZero", "--layers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "res0.conv1" in out and "EWOP" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            characterize.main(["--model", "VGG"])

@@ -1,0 +1,50 @@
+"""Unit-convention helpers."""
+
+import pytest
+
+from repro.units import (
+    BYTES_PER_WORD,
+    ceil_div,
+    gbps_to_words_per_cycle,
+    mhz_to_period_ns,
+    period_ns_to_mhz,
+    words_to_bytes,
+)
+
+
+class TestFrequencyConversions:
+    def test_mhz_to_period_650(self):
+        assert mhz_to_period_ns(650.0) == pytest.approx(1.5385, abs=1e-3)
+
+    def test_round_trip(self):
+        assert period_ns_to_mhz(mhz_to_period_ns(740.0)) == pytest.approx(740.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            mhz_to_period_ns(0.0)
+
+    def test_rejects_negative_period(self):
+        with pytest.raises(ValueError):
+            period_ns_to_mhz(-1.0)
+
+
+class TestBandwidth:
+    def test_26gbps_at_650mhz(self):
+        # 26e9 B/s / 650e6 cyc/s = 40 B/cycle = 20 words/cycle.
+        assert gbps_to_words_per_cycle(26.0, 650.0) == pytest.approx(20.0)
+
+    def test_words_to_bytes(self):
+        assert words_to_bytes(100) == 100 * BYTES_PER_WORD
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 1, 0), (1, 1, 1), (7, 3, 3), (9, 3, 3), (10, 3, 4), (1, 100, 1)],
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)

@@ -1,0 +1,134 @@
+"""Layer definitions, loop nests, footprints, and coordinate maps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer, PoolLayer
+
+
+class TestConvLayer:
+    def test_output_shape(self, small_conv):
+        assert (small_conv.out_h, small_conv.out_w) == (8, 8)
+
+    def test_strided_output_shape(self, strided_conv):
+        # (11 + 2 - 3) // 2 + 1 = 6.
+        assert (strided_conv.out_h, strided_conv.out_w) == (6, 6)
+
+    def test_loop_nest_is_six_level(self, small_conv):
+        names = [d.name for d in small_conv.loop_dims()]
+        assert names == ["M", "N", "H", "W", "R", "S"]
+
+    def test_macc_count(self, small_conv):
+        assert small_conv.maccs == 8 * 6 * 8 * 8 * 3 * 3
+
+    def test_weight_words(self, small_conv):
+        assert small_conv.weight_words == 8 * 6 * 3 * 3
+
+    def test_reduction_tags(self, small_conv):
+        tags = {d.name: d.reduction for d in small_conv.loop_dims()}
+        assert tags == {
+            "M": False, "N": True, "H": False,
+            "W": False, "R": True, "S": True,
+        }
+
+    def test_act_footprint_window_overlap(self, small_conv):
+        # 4x4 output tile of a 3x3 stride-1 conv reads a 6x6 window.
+        fp = small_conv.act_footprint({"N": 2, "H": 4, "W": 4, "R": 3, "S": 3})
+        assert fp == 2 * 6 * 6
+
+    def test_act_footprint_stride(self, strided_conv):
+        # Stride 2: rows = (3 - 1) * 2 + 3 = 7.
+        fp = strided_conv.act_footprint({"H": 3, "W": 1, "R": 3, "S": 3})
+        assert fp == 7 * 3
+
+    def test_out_and_weight_footprints(self, small_conv):
+        tile = {"M": 4, "N": 2, "H": 3, "W": 5, "R": 3, "S": 1}
+        assert small_conv.out_footprint(tile) == 4 * 3 * 5
+        assert small_conv.weight_footprint(tile) == 4 * 2 * 3 * 1
+
+    def test_coordinate_maps(self, small_conv):
+        idx = {"M": 2, "N": 1, "H": 3, "W": 4, "R": 0, "S": 2}
+        assert small_conv.weight_coord(idx) == (2, 1, 0, 2)
+        # act row = h*stride + r - padding = 3 - 1 = 2; col = 4 + 2 - 1 = 5.
+        assert small_conv.act_coord(idx) == (1, 2, 5)
+        assert small_conv.out_coord(idx) == (2, 3, 4)
+
+    def test_act_in_range_padding(self, small_conv):
+        assert not small_conv.act_in_range((0, -1, 0))
+        assert not small_conv.act_in_range((0, 0, 8))
+        assert small_conv.act_in_range((5, 7, 7))
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(WorkloadError, match="empty output"):
+            ConvLayer("bad", 1, 1, in_h=2, in_w=2, kernel_h=5, kernel_w=5)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("bad", 0, 1, in_h=2, in_w=2, kernel_h=1, kernel_w=1)
+
+
+class TestMatMulLayer:
+    def test_loop_nest_is_three_level(self, small_mm):
+        assert [d.name for d in small_mm.loop_dims()] == ["M", "N", "P"]
+
+    def test_m_is_the_reduction(self, small_mm):
+        tags = {d.name: d.reduction for d in small_mm.loop_dims()}
+        assert tags == {"M": True, "N": False, "P": False}
+
+    def test_counts(self, small_mm):
+        assert small_mm.maccs == 24 * 10 * 4
+        assert small_mm.weight_words == 24 * 10
+        assert small_mm.output_words == 10 * 4
+        assert small_mm.input_words == 24 * 4
+
+    def test_footprints(self, small_mm):
+        tile = {"M": 6, "N": 5, "P": 2}
+        assert small_mm.act_footprint(tile) == 12
+        assert small_mm.out_footprint(tile) == 10
+        assert small_mm.weight_footprint(tile) == 30
+
+    def test_coordinates(self, small_mm):
+        idx = {"M": 3, "N": 7, "P": 1}
+        assert small_mm.weight_coord(idx) == (7, 3)
+        assert small_mm.act_coord(idx) == (3, 1)
+        assert small_mm.out_coord(idx) == (7, 1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            MatMulLayer("bad", in_features=0, out_features=1)
+
+
+class TestEwopAndPool:
+    def test_ewop_ops(self):
+        layer = EwopLayer("relu", op="relu", n_elements=100, ops_per_element=2)
+        assert layer.ops == 200
+        assert layer.weight_words == 0
+
+    def test_pool_layer_accounting(self):
+        pool = PoolLayer("p", channels=8, in_h=8, in_w=8, kernel=2, stride=2)
+        assert pool.n_elements == 8 * 4 * 4
+        assert pool.ops_per_element == 4
+
+    def test_pool_empty_output_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoolLayer("p", channels=1, in_h=2, in_w=2, kernel=5, stride=1)
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(WorkloadError):
+            EwopLayer("bad", op="x", n_elements=-1)
+
+
+@given(
+    h_t=st.integers(1, 8),
+    w_t=st.integers(1, 8),
+    n_t=st.integers(1, 6),
+)
+def test_conv_footprint_never_exceeds_dense_tile(h_t, w_t, n_t):
+    """Window sharing: the input footprint of a spatial tile is never more
+    than one full window per output element."""
+    layer = ConvLayer("c", 6, 8, in_h=16, in_w=16, kernel_h=3, kernel_w=3)
+    tile = {"N": n_t, "H": h_t, "W": w_t, "R": 3, "S": 3}
+    fp = layer.act_footprint(tile)
+    assert fp <= n_t * (h_t * w_t) * 9
+    assert fp >= n_t * h_t * w_t  # at least one input word per output

@@ -1,0 +1,162 @@
+"""Network container, op accounting, and the Table I model set."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import BYTES_PER_WORD
+from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
+from repro.workloads.mlperf import MLPERF_MODELS, build_model, table1_rows
+from repro.workloads.network import Network
+
+
+def _mini_network() -> Network:
+    return Network(
+        name="mini",
+        application="test",
+        layers=(
+            ConvLayer("c1", 2, 4, in_h=4, in_w=4, kernel_h=3, kernel_w=3, padding=1),
+            EwopLayer("relu", op="relu", n_elements=64),
+            MatMulLayer("fc", in_features=64, out_features=10),
+        ),
+    )
+
+
+class TestNetwork:
+    def test_breakdown_sums_to_total(self):
+        breakdown = _mini_network().op_breakdown()
+        assert breakdown.total_ops == (
+            breakdown.conv_ops + breakdown.mm_ops + breakdown.ewop_ops
+        )
+        assert breakdown.conv_fraction + breakdown.mm_fraction + \
+            breakdown.ewop_fraction == pytest.approx(1.0)
+
+    def test_accelerated_layers_excludes_ewop(self):
+        names = [l.name for l in _mini_network().accelerated_layers()]
+        assert names == ["c1", "fc"]
+
+    def test_weight_bytes(self):
+        net = _mini_network()
+        assert net.weight_bytes == net.weight_words * BYTES_PER_WORD
+
+    def test_weight_tying_counts_once(self):
+        tied = Network(
+            name="tied",
+            application="test",
+            layers=(
+                MatMulLayer("a", 8, 8, weight_group="shared"),
+                MatMulLayer("b", 8, 8, weight_group="shared"),
+            ),
+        )
+        assert tied.weight_words == 64
+
+    def test_inconsistent_weight_group_rejected(self):
+        tied = Network(
+            name="bad",
+            application="test",
+            layers=(
+                MatMulLayer("a", 8, 8, weight_group="shared"),
+                MatMulLayer("b", 8, 16, weight_group="shared"),
+            ),
+        )
+        with pytest.raises(WorkloadError, match="inconsistent"):
+            _ = tied.weight_words
+
+    def test_duplicate_layer_names_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            Network(
+                name="dup",
+                application="test",
+                layers=(
+                    MatMulLayer("x", 4, 4),
+                    MatMulLayer("x", 8, 8),
+                ),
+            )
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(WorkloadError, match="no layers"):
+            Network(name="empty", application="test", layers=())
+
+
+class TestTable1:
+    """Paper Table I: op mix and weight budgets of the five models."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.model: r for r in table1_rows()}
+
+    def test_all_models_present(self, rows):
+        assert set(rows) == set(MLPERF_MODELS)
+
+    @pytest.mark.parametrize(
+        "model,conv,mm,ewop,weights_mb",
+        [
+            ("GoogLeNet", 99.73, 0.07, 0.20, 13.7),
+            ("ResNet50", 99.67, 0.05, 0.27, 51.0),
+            ("AlphaGoZero", 99.86, 0.08, 0.06, 2.08),
+            ("Sentimental-seqCNN", 89.86, 0.15, 9.99, 0.34506),
+            ("Sentimental-seqLSTM", 0.00, 99.89, 0.11, 39.9),
+        ],
+    )
+    def test_row_matches_paper(self, rows, model, conv, mm, ewop, weights_mb):
+        """Within tolerance of the paper's characterization: op mix within
+        a few percentage points, weights within 5 %."""
+        row = rows[model]
+        assert row.conv_pct == pytest.approx(conv, abs=2.0)
+        assert row.mm_pct == pytest.approx(mm, abs=1.0)
+        assert row.ewop_pct == pytest.approx(ewop, abs=2.0)
+        assert row.weight_bytes == pytest.approx(weights_mb * 1e6, rel=0.05)
+
+    def test_conv_mm_dominate_everywhere(self, rows):
+        """The §II-A premise: CONV + MM account for ~90 %+ of every model."""
+        for row in rows.values():
+            assert row.conv_pct + row.mm_pct >= 89.0, row.model
+
+    def test_googlenet_macc_scale(self):
+        net = build_model("GoogLeNet")
+        assert 1.4e9 < net.accelerated_maccs < 1.7e9
+
+    def test_resnet50_macc_scale(self):
+        net = build_model("ResNet50")
+        assert 3.7e9 < net.accelerated_maccs < 4.3e9
+
+    def test_resnet50_parameter_count(self):
+        net = build_model("ResNet50")
+        assert net.weight_words == pytest.approx(25.5e6, rel=0.02)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown model"):
+            build_model("VGG16")
+
+    def test_build_model_memoizes(self):
+        assert build_model("GoogLeNet") is build_model("GoogLeNet")
+
+    def test_format_weights(self, rows):
+        assert rows["GoogLeNet"].format_weights().endswith("M")
+        assert rows["Sentimental-seqCNN"].format_weights().endswith("K")
+
+
+class TestModelStructure:
+    def test_googlenet_has_nine_inception_modules(self):
+        net = build_model("GoogLeNet")
+        modules = {
+            l.name.split(".")[0]
+            for l in net.layers
+            if l.name[0] in "345" and "." in l.name
+        }
+        assert len([m for m in modules if m[0] in "345" and len(m) == 2]) == 9
+
+    def test_resnet50_bottleneck_count(self):
+        net = build_model("ResNet50")
+        conv3 = [l.name for l in net.layers if l.name.endswith(".conv3")]
+        assert len(conv3) == 3 + 4 + 6 + 3
+
+    def test_seqlstm_ties_weights_across_steps(self):
+        net = build_model("Sentimental-seqLSTM")
+        gates = [l for l in net.accelerated_layers() if "gates" in l.name]
+        assert len(gates) == 50
+        assert len({l.weight_group for l in gates}) == 2
+
+    def test_alphagozero_is_conv_tower(self):
+        net = build_model("AlphaGoZero")
+        convs = [l for l in net.accelerated_layers() if l.kind.value == "conv"]
+        assert len(convs) == 1 + 9 * 2 + 2  # stem + tower + two head convs
