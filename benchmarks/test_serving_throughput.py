@@ -1,0 +1,156 @@
+"""Serving study: batching vs throughput, and the p99 latency knee.
+
+Two system-level claims ride on the paper's §I batch → efficiency
+argument once a serving runtime sits on top of the compiler:
+
+* (a) dynamic batching raises *sustained* throughput over batch=1
+  serving for MM-dominated workloads (seqLSTM's tied-gate MMs amortize
+  every streamed weight over the batch), while CONV-dominated GoogLeNet
+  is batch-insensitive — exactly the §I asymmetry;
+* (b) p99 latency versus offered load is monotone and knees at
+  saturation: below the knee p99 is formation wait + service, past it
+  the queue dominates.
+
+Everything runs on the virtual clock, so the whole study is
+bit-deterministic given the arrival seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import save_artifact
+
+from repro.serving import (
+    AdmissionPolicy,
+    BatchPolicy,
+    BatchServiceModel,
+    ReplicaService,
+    ServingEngine,
+    make_requests,
+    poisson_arrivals,
+)
+from repro.workloads.mlperf import build_model
+
+MAX_BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def seqlstm_service(paper_config):
+    return BatchServiceModel(build_model("Sentimental-seqLSTM"),
+                             paper_config)
+
+
+@pytest.fixture(scope="module")
+def googlenet_service(paper_config):
+    return BatchServiceModel(build_model("GoogLeNet"), paper_config)
+
+
+def _burst_throughput(service: BatchServiceModel, max_batch: int,
+                      n_requests: int) -> float:
+    """Sustained req/s serving one saturating burst at batch ``max_batch``."""
+    requests = make_requests([0.0] * n_requests, service.network.name)
+    engine = ServingEngine(
+        ReplicaService(service, n_replicas=1),
+        batch_policy=BatchPolicy(max_batch=max_batch, max_wait_s=1e-3),
+        admission_policy=AdmissionPolicy(capacity=n_requests),
+        slo_s=1.0,
+    )
+    report = engine.run(requests)
+    assert report.n_completed == n_requests
+    return report.throughput_rps
+
+
+def test_batching_raises_sustained_throughput(
+    benchmark, seqlstm_service, googlenet_service
+):
+    def sweep():
+        return {
+            (net.network.name, b): _burst_throughput(net, b, 64)
+            for net in (seqlstm_service, googlenet_service)
+            for b in (1, MAX_BATCH)
+        }
+
+    tput = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lstm1 = tput[("Sentimental-seqLSTM", 1)]
+    lstm16 = tput[("Sentimental-seqLSTM", MAX_BATCH)]
+    goog1 = tput[("GoogLeNet", 1)]
+    goog16 = tput[("GoogLeNet", MAX_BATCH)]
+    lines = [
+        f"Sustained serving throughput, one overlay, burst of 64 requests "
+        f"(batch {MAX_BATCH} vs 1)",
+        f"{'model':>22s} {'batch=1':>10s} {'batch=16':>10s} {'gain':>7s}",
+        f"{'Sentimental-seqLSTM':>22s} {lstm1:10.1f} {lstm16:10.1f} "
+        f"{lstm16 / lstm1:6.2f}x",
+        f"{'GoogLeNet':>22s} {goog1:10.1f} {goog16:10.1f} "
+        f"{goog16 / goog1:6.2f}x",
+    ]
+    save_artifact("serving_batching_throughput.txt", "\n".join(lines))
+
+    # (a) MM-bound seqLSTM gains substantially from batching ...
+    assert lstm16 > 2.0 * lstm1
+    # ... while CONV-bound GoogLeNet is batch-insensitive (no regression).
+    assert goog16 > 0.95 * goog1
+
+
+def test_p99_latency_knees_at_saturation(seqlstm_service):
+    """p99 vs offered load is monotone and explodes past saturation."""
+    saturated = MAX_BATCH / seqlstm_service.service_s(MAX_BATCH)
+    fractions = (0.2, 0.5, 0.8, 1.3)
+    rows = []
+    for load in fractions:
+        rate = load * saturated
+        requests = make_requests(
+            poisson_arrivals(rate, 300, seed=20), "Sentimental-seqLSTM"
+        )
+        engine = ServingEngine(
+            ReplicaService(seqlstm_service, n_replicas=1),
+            batch_policy=BatchPolicy(max_batch=MAX_BATCH, max_wait_s=5e-3),
+            admission_policy=AdmissionPolicy(capacity=600),
+            slo_s=0.2,
+        )
+        report = engine.run(requests)
+        rows.append((load, rate, report))
+
+    lines = [
+        "seqLSTM p99 latency vs offered load (fraction of saturation "
+        f"throughput {saturated:.1f} req/s)",
+        f"{'load':>6s} {'req/s':>8s} {'p50 ms':>9s} {'p99 ms':>9s} "
+        f"{'SLO miss':>9s} {'util':>7s}",
+    ]
+    for load, rate, report in rows:
+        lines.append(
+            f"{load:6.2f} {rate:8.1f} {report.p50_s * 1e3:9.2f} "
+            f"{report.p99_s * 1e3:9.2f} {report.slo_violation_rate:9.2%} "
+            f"{report.mean_utilization:7.1%}"
+        )
+    save_artifact("serving_p99_vs_load.txt", "\n".join(lines))
+
+    p99s = [report.p99_s for _, _, report in rows]
+    # (b) monotone in offered load (2% tolerance for arrival noise) ...
+    assert all(b >= a * 0.98 for a, b in zip(p99s, p99s[1:]))
+    # ... with a knee: past saturation p99 is several times the
+    # light-load tail, and the server is pinned.
+    assert p99s[-1] > 3.0 * p99s[0]
+    assert rows[-1][2].mean_utilization > 0.9
+
+
+def test_serving_run_is_bit_deterministic(seqlstm_service):
+    saturated = MAX_BATCH / seqlstm_service.service_s(MAX_BATCH)
+
+    def run():
+        requests = make_requests(
+            poisson_arrivals(0.7 * saturated, 200, seed=4),
+            "Sentimental-seqLSTM",
+        )
+        engine = ServingEngine(
+            ReplicaService(seqlstm_service, n_replicas=2),
+            batch_policy=BatchPolicy(max_batch=MAX_BATCH, max_wait_s=5e-3),
+            slo_s=0.2,
+        )
+        return engine.run(requests)
+
+    first, second = run(), run()
+    assert first.latencies_s == second.latencies_s
+    assert first.utilization == second.utilization
+    assert first.describe() == second.describe()

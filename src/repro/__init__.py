@@ -26,6 +26,8 @@ from repro.errors import (
     WorkloadError,
     SimulationError,
     IsaError,
+    PartitionError,
+    ServingError,
 )
 from repro.fpga import (
     Device,
@@ -76,6 +78,18 @@ from repro.analysis import (
 )
 from repro.baselines import SystolicArray, PRIOR_WORKS
 from repro.power import estimate_overlay_power, PowerReport
+from repro.serving import (
+    AdmissionPolicy,
+    BatchPolicy,
+    BatchServiceModel,
+    PipelineService,
+    ReplicaService,
+    ServingEngine,
+    ServingReport,
+    make_requests,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 
 __version__ = "1.0.0"
 
@@ -89,6 +103,8 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "IsaError",
+    "PartitionError",
+    "ServingError",
     "Device",
     "get_device",
     "list_devices",
@@ -132,5 +148,15 @@ __all__ = [
     "PRIOR_WORKS",
     "estimate_overlay_power",
     "PowerReport",
+    "AdmissionPolicy",
+    "BatchPolicy",
+    "BatchServiceModel",
+    "PipelineService",
+    "ReplicaService",
+    "ServingEngine",
+    "ServingReport",
+    "make_requests",
+    "poisson_arrivals",
+    "uniform_arrivals",
     "__version__",
 ]

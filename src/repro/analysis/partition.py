@@ -15,7 +15,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.analysis.efficiency import NetworkResult, evaluate_network
-from repro.errors import FTDLError
+from repro.errors import FTDLError, PartitionError
 from repro.overlay.config import OverlayConfig
 from repro.units import BYTES_PER_WORD
 from repro.workloads.layers import LayerKind
@@ -113,6 +113,7 @@ def plan_deployment(
     config: OverlayConfig,
     n_devices: int,
     objective: str = "balance",
+    require_resident: bool = False,
 ) -> DeploymentPlan:
     """Partition ``network`` across ``n_devices`` identical overlays.
 
@@ -120,7 +121,25 @@ def plan_deployment(
     WBUF efficiency decides residency); partitions whose *stored* weight
     footprint fits the device's aggregate WBUF re-compile with resident
     weights, dropping their streaming bandwidth cost.
+
+    ``require_resident`` enforces the point of a multi-FPGA deployment
+    (§II-B1): every stage's stored weights must fit its device's WBUF.
+
+    Raises:
+        PartitionError: if ``network`` has no accelerated layers — there
+            is nothing to deploy, and returning an empty plan would let
+            the zero silently poison downstream throughput math.  Also
+            raised under ``require_resident`` when the network is too
+            large for ``n_devices`` of this device: some stage's weights
+            still exceed the aggregate WBUF.
+        ScheduleError: if some layer cannot be scheduled on ``config``
+            at all (e.g. the network is too large for the device's
+            buffers at any tiling).
     """
+    if not network.accelerated_layers():
+        raise PartitionError(
+            f"network {network.name!r} has no CONV/MM layers to deploy"
+        )
     wbuf_budget = config.n_tpe * config.s_wbuf_words * BYTES_PER_WORD
     stages = []
     for part in partition_by_weight_groups(network, n_devices):
@@ -140,4 +159,12 @@ def plan_deployment(
             resident=resident,
             stored_bytes=stored_bytes,
         ))
+    if require_resident and not all(stage.resident for stage in stages):
+        worst = max(stages, key=lambda s: s.stored_bytes)
+        raise PartitionError(
+            f"network {network.name!r} does not fit {n_devices} device(s) "
+            f"with resident weights: stage {worst.partition.name!r} stores "
+            f"{worst.stored_bytes:,} B against a WBUF budget of "
+            f"{wbuf_budget:,} B"
+        )
     return DeploymentPlan(network=network, config=config, stages=tuple(stages))

@@ -3,13 +3,22 @@
 Real networks repeat layer shapes heavily (ResNet50's six identical
 ``layer3`` bottlenecks, the seqLSTM's 50 tied-gate MMs); the cache makes
 whole-network compilation pay for each distinct shape once.
+
+The cache is optionally bounded: a long-running server compiling
+schedules for every (layer, batch) combination it encounters would grow
+without limit, so :class:`ScheduleCache` accepts ``max_entries`` and
+evicts least-recently-used shapes past that bound.  Hit/miss/eviction
+counters are exposed through :meth:`ScheduleCache.stats` for the serving
+metrics layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 
 from repro.compiler.search import Schedule, ScheduleSearch
+from repro.errors import ScheduleError
 from repro.overlay.config import OverlayConfig
 from repro.workloads.layers import ConvLayer, MatMulLayer
 
@@ -27,26 +36,70 @@ def layer_signature(layer: AcceleratedLayer) -> tuple:
     return ("mm", layer.in_features, layer.out_features, layer.batch)
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one :class:`ScheduleCache`'s counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    max_entries: int | None
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        bound = "unbounded" if self.max_entries is None else str(self.max_entries)
+        return (
+            f"{self.size} entries (bound {bound}): {self.hits} hits / "
+            f"{self.misses} misses ({self.hit_rate:.1%}), "
+            f"{self.evictions} evictions"
+        )
+
+
 class ScheduleCache:
     """Memoized per-layer scheduling against one overlay config.
 
     Args:
         config: The overlay all layers are scheduled for.
         objective: Search objective forwarded to :class:`ScheduleSearch`.
+        max_entries: Bound on cached distinct shapes; least-recently-used
+            entries are evicted past it.  ``None`` keeps every shape.
     """
 
-    def __init__(self, config: OverlayConfig, objective: str = "performance"):
+    def __init__(
+        self,
+        config: OverlayConfig,
+        objective: str = "performance",
+        max_entries: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ScheduleError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.config = config
         self.objective = objective
-        self._cache: dict[tuple, Schedule] = {}
+        self.max_entries = max_entries
+        self._cache: OrderedDict[tuple, Schedule] = OrderedDict()
         self.misses = 0
         self.hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
     def schedule(self, layer: AcceleratedLayer) -> Schedule:
         """Return the best schedule for ``layer``, reusing shape twins."""
         key = layer_signature(layer)
         if key in self._cache:
             self.hits += 1
+            self._cache.move_to_end(key)
             cached = self._cache[key]
             if cached.layer is layer:
                 return cached
@@ -56,4 +109,17 @@ class ScheduleCache:
             layer, self.config, objective=self.objective, top_k=1
         ).run()[0]
         self._cache[key] = schedule
+        if self.max_entries is not None and len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
         return schedule
+
+    def stats(self) -> CacheStats:
+        """Snapshot the hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._cache),
+            max_entries=self.max_entries,
+        )

@@ -58,10 +58,15 @@ def random_schedule_search(
     layer: AcceleratedLayer,
     config: OverlayConfig,
     budget: int,
-    seed: int = 0,
+    *,
+    seed: int,
 ) -> tuple[Schedule, int]:
     """Sample ``budget`` random mappings; return (best schedule, number of
     feasible samples).
+
+    ``seed`` is keyword-required: every stochastic path in the library
+    takes an explicit seed so results are reproducible by construction
+    (no module-level RNG state anywhere).
 
     Raises:
         ScheduleError: if no sampled mapping is feasible.

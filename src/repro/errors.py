@@ -41,3 +41,11 @@ class SimulationError(FTDLError):
 
 class IsaError(FTDLError):
     """An instruction could not be encoded or decoded."""
+
+
+class PartitionError(FTDLError):
+    """A multi-FPGA partitioning request cannot produce a usable plan."""
+
+
+class ServingError(FTDLError):
+    """The serving runtime was configured or driven inconsistently."""

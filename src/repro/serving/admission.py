@@ -1,0 +1,72 @@
+"""Admission control: bounded queues, backpressure, graceful degradation.
+
+A serving queue that grows without bound converts overload into
+unbounded latency; a bounded queue converts it into explicit rejections
+the client can retry elsewhere.  Between "healthy" and "full" sits a
+degraded band: past ``degrade_watermark`` of capacity the batcher stops
+waiting out its formation deadline and launches whatever is queued as
+soon as a replica frees — smaller batches, lower per-batch efficiency,
+but the queue drains instead of collapsing into the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue bound and degradation knobs.
+
+    Attributes:
+        capacity: Hard queue bound; arrivals beyond it are rejected
+            (backpressure to the client).
+        degrade_watermark: Fraction of capacity above which batch
+            formation stops waiting for ``max_wait_s`` and dispatches
+            immediately with whatever is queued.
+    """
+
+    capacity: int = 256
+    degrade_watermark: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ServingError(f"capacity must be >= 1, got {self.capacity}")
+        if not 0.0 < self.degrade_watermark <= 1.0:
+            raise ServingError(
+                f"degrade_watermark must be in (0, 1], got "
+                f"{self.degrade_watermark}"
+            )
+
+
+class AdmissionController:
+    """Stateful gate in front of the batcher queue."""
+
+    def __init__(self, policy: AdmissionPolicy):
+        self.policy = policy
+        self.admitted = 0
+        self.rejected = 0
+        self.degraded_dispatches = 0
+
+    def admit(self, queue_depth: int) -> bool:
+        """Whether a new arrival fits; counts the outcome either way."""
+        if queue_depth >= self.policy.capacity:
+            self.rejected += 1
+            return False
+        self.admitted += 1
+        return True
+
+    def degraded(self, queue_depth: int) -> bool:
+        """Whether the queue is deep enough to waive batch formation."""
+        threshold = self.policy.degrade_watermark * self.policy.capacity
+        return queue_depth >= threshold
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0

@@ -1,0 +1,124 @@
+"""Inference requests and deterministic arrival processes.
+
+The serving runtime is driven entirely by virtual time, so a workload is
+just a sorted list of arrival instants.  Three generators cover the
+usual experiments: a seeded Poisson process (open-loop traffic at a
+target offered load), a uniform process (the deterministic control), and
+a replayed trace.  Every stochastic path takes an explicit ``seed`` —
+there is no module-level RNG anywhere in this package, so identical
+inputs always reproduce identical metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ServingError
+
+
+@dataclass
+class InferenceRequest:
+    """One inference request travelling through the serving runtime.
+
+    Attributes:
+        request_id: Dense index, unique within one run.
+        model: Workload name (informational; one engine serves one model).
+        arrival_s: Virtual-clock arrival instant, seconds.
+        dispatch_s: Set by the engine when the request's batch launches.
+        complete_s: Set by the engine when the batch finishes.
+        batch_size: Size of the batch the request rode in.
+        replica: Name of the overlay replica that served it.
+    """
+
+    request_id: int
+    model: str
+    arrival_s: float
+    dispatch_s: float | None = field(default=None, compare=False)
+    complete_s: float | None = field(default=None, compare=False)
+    batch_size: int = field(default=0, compare=False)
+    replica: str = field(default="", compare=False)
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: queue wait + batch formation + service."""
+        if self.complete_s is None:
+            raise ServingError(f"request {self.request_id} not complete")
+        return self.complete_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time from arrival to batch dispatch."""
+        if self.dispatch_s is None:
+            raise ServingError(f"request {self.request_id} not dispatched")
+        return self.dispatch_s - self.arrival_s
+
+
+def poisson_arrivals(
+    rate_rps: float, n_requests: int, *, seed: int, start_s: float = 0.0
+) -> list[float]:
+    """Arrival instants of a Poisson process at ``rate_rps`` requests/s.
+
+    Args:
+        rate_rps: Mean offered load (1/rate is the mean inter-arrival gap).
+        n_requests: Number of arrivals to draw.
+        seed: RNG seed; required so every run is reproducible.
+        start_s: Virtual time of the process origin.
+
+    Raises:
+        ServingError: for a non-positive rate or request count.
+    """
+    if rate_rps <= 0:
+        raise ServingError(f"arrival rate must be positive, got {rate_rps}")
+    if n_requests < 1:
+        raise ServingError(f"need >= 1 request, got {n_requests}")
+    rng = random.Random(seed)
+    t = start_s
+    times = []
+    for _ in range(n_requests):
+        t += rng.expovariate(rate_rps)
+        times.append(t)
+    return times
+
+
+def uniform_arrivals(
+    rate_rps: float, n_requests: int, *, start_s: float = 0.0
+) -> list[float]:
+    """Evenly spaced arrivals at ``rate_rps`` — the deterministic control.
+
+    Raises:
+        ServingError: for a non-positive rate or request count.
+    """
+    if rate_rps <= 0:
+        raise ServingError(f"arrival rate must be positive, got {rate_rps}")
+    if n_requests < 1:
+        raise ServingError(f"need >= 1 request, got {n_requests}")
+    gap = 1.0 / rate_rps
+    return [start_s + (i + 1) * gap for i in range(n_requests)]
+
+
+def trace_arrivals(times: Iterable[float]) -> list[float]:
+    """Validate and normalize a replayed arrival trace.
+
+    Raises:
+        ServingError: if the trace is empty, unsorted, or has negative
+            instants.
+    """
+    out = list(times)
+    if not out:
+        raise ServingError("arrival trace is empty")
+    if any(t < 0 for t in out):
+        raise ServingError("arrival trace has negative instants")
+    if any(b < a for a, b in zip(out, out[1:])):
+        raise ServingError("arrival trace is not sorted")
+    return out
+
+
+def make_requests(times: Sequence[float], model: str) -> list[InferenceRequest]:
+    """Wrap sorted arrival instants into :class:`InferenceRequest` objects."""
+    validated = trace_arrivals(times)
+    return [
+        InferenceRequest(request_id=i, model=model, arrival_s=t)
+        for i, t in enumerate(validated)
+    ]

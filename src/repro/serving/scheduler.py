@@ -1,0 +1,188 @@
+"""Dispatch across overlay replicas or a multi-FPGA pipeline.
+
+Two deployment shapes, one dispatch interface:
+
+* :class:`ReplicaService` — N identical single-overlay replicas, each
+  serving whole batches end-to-end.  A batch occupies its replica for the
+  full service time.
+* :class:`PipelineService` — one logical server built from
+  :func:`repro.analysis.partition.plan_deployment`: the model's layers
+  are split across devices and batches stream through the stages.  A
+  batch's *latency* is the sum of all stage times (fill), but the
+  pipeline accepts the next batch after only the *bottleneck* stage time
+  (initiation interval), so occupancy < latency.
+
+:class:`DispatchScheduler` is deployment-agnostic: it tracks per-replica
+free times and busy accounting, and places each batch on the replica
+that frees earliest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.analysis.partition import plan_deployment
+from repro.compiler.cache import CacheStats, ScheduleCache
+from repro.errors import ServingError
+from repro.overlay.config import OverlayConfig
+from repro.serving.batcher import Batch, BatchServiceModel
+from repro.workloads.network import Network
+
+
+class ReplicaService:
+    """Service model for N identical single-overlay replicas."""
+
+    def __init__(self, model: BatchServiceModel, n_replicas: int = 1):
+        if n_replicas < 1:
+            raise ServingError(f"need >= 1 replica, got {n_replicas}")
+        self.model = model
+        self.n_replicas = n_replicas
+
+    def latency_s(self, batch_size: int) -> float:
+        return self.model.service_s(batch_size)
+
+    def occupancy_s(self, batch_size: int) -> float:
+        return self.model.service_s(batch_size)
+
+    def cache_stats(self) -> CacheStats:
+        return self.model.cache.stats()
+
+    def replica_names(self) -> list[str]:
+        return [f"overlay{i}" for i in range(self.n_replicas)]
+
+
+class PipelineService:
+    """Service model for one multi-FPGA pipeline (optionally replicated).
+
+    Built from :func:`plan_deployment`: each pipeline stage gets its own
+    :class:`BatchServiceModel` over its partition, compiled against the
+    stage's residency outcome (resident stages drop the per-frame weight
+    stream).  Compiled schedules are shared across replicas — the
+    pipelines are identical, so one set of schedule caches serves all.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: OverlayConfig,
+        n_devices: int,
+        n_replicas: int = 1,
+        objective: str = "balance",
+    ):
+        if n_replicas < 1:
+            raise ServingError(f"need >= 1 replica, got {n_replicas}")
+        plan = plan_deployment(network, config, n_devices=n_devices,
+                               objective=objective)
+        if not plan.stages:
+            raise ServingError(
+                f"deployment plan for {network.name!r} has no stages"
+            )
+        self.plan = plan
+        self.n_replicas = n_replicas
+        self._stages = []
+        for stage in plan.stages:
+            stage_config = (
+                dataclasses.replace(config, weights_resident=True)
+                if stage.resident else config
+            )
+            self._stages.append(BatchServiceModel(
+                stage.partition, stage_config,
+                objective=objective,
+                cache=ScheduleCache(stage_config, objective=objective),
+            ))
+
+    @property
+    def n_devices(self) -> int:
+        return len(self._stages)
+
+    def latency_s(self, batch_size: int) -> float:
+        """Pipeline fill: a batch traverses every stage in sequence."""
+        return sum(s.service_s(batch_size) for s in self._stages)
+
+    def occupancy_s(self, batch_size: int) -> float:
+        """Initiation interval: the bottleneck stage gates admission."""
+        return max(s.service_s(batch_size) for s in self._stages)
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate schedule-cache counters across the pipeline stages."""
+        stats = [s.cache.stats() for s in self._stages]
+        return CacheStats(
+            hits=sum(s.hits for s in stats),
+            misses=sum(s.misses for s in stats),
+            evictions=sum(s.evictions for s in stats),
+            size=sum(s.size for s in stats),
+            max_entries=None,
+        )
+
+    def replica_names(self) -> list[str]:
+        return [
+            f"pipeline{i}x{self.n_devices}" for i in range(self.n_replicas)
+        ]
+
+
+@dataclass
+class ReplicaState:
+    """Dispatch bookkeeping for one replica."""
+
+    name: str
+    free_at_s: float = 0.0
+    busy_s: float = 0.0
+    batches: int = 0
+    requests: int = 0
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Outcome of placing one batch."""
+
+    batch: Batch
+    replica: str
+    start_s: float
+    complete_s: float
+
+
+class DispatchScheduler:
+    """Earliest-free placement of batches onto replicas."""
+
+    def __init__(self, service: ReplicaService | PipelineService):
+        self.service = service
+        self.replicas = [
+            ReplicaState(name=name) for name in service.replica_names()
+        ]
+
+    def free_replica(self, now_s: float) -> ReplicaState | None:
+        """The free replica with the lowest index, or None if all busy."""
+        for replica in self.replicas:
+            if replica.free_at_s <= now_s:
+                return replica
+        return None
+
+    def next_free_s(self) -> float:
+        return min(r.free_at_s for r in self.replicas)
+
+    def dispatch(self, replica: ReplicaState, batch: Batch,
+                 now_s: float) -> Dispatch:
+        """Place ``batch`` on ``replica`` starting at ``now_s``."""
+        if replica.free_at_s > now_s:
+            raise ServingError(
+                f"replica {replica.name} busy until {replica.free_at_s:.6f}"
+            )
+        occupancy = self.service.occupancy_s(batch.size)
+        latency = self.service.latency_s(batch.size)
+        replica.free_at_s = now_s + occupancy
+        replica.busy_s += occupancy
+        replica.batches += 1
+        replica.requests += batch.size
+        return Dispatch(
+            batch=batch,
+            replica=replica.name,
+            start_s=now_s,
+            complete_s=now_s + latency,
+        )
+
+    def utilization(self, makespan_s: float) -> dict[str, float]:
+        """Busy fraction per replica over the run's makespan."""
+        if makespan_s <= 0:
+            return {r.name: 0.0 for r in self.replicas}
+        return {r.name: r.busy_s / makespan_s for r in self.replicas}

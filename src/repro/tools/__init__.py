@@ -9,4 +9,6 @@
 * ``python -m repro.tools.characterize`` — the Table I characterization.
 * ``python -m repro.tools.report`` — assemble a markdown reproduction
   report.
+* ``python -m repro.tools.serve`` — simulated inference serving with
+  dynamic batching, replica/pipeline dispatch, and latency SLO metrics.
 """

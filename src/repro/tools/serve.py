@@ -1,0 +1,146 @@
+"""CLI: simulated inference serving with batching and latency SLOs.
+
+Drives one model deployment (N overlay replicas, or N replicas of a
+multi-FPGA pipeline) with seeded open-loop traffic and reports
+throughput, p50/p95/p99 latency, per-replica utilization, queue
+behavior, and the SLO-violation rate.  Everything runs on a virtual
+clock, so the run is deterministic given the seed.
+
+Examples::
+
+    python -m repro.tools.serve --model GoogLeNet --rate 300 \
+        --requests 500 --replicas 2 --slo-ms 40
+    python -m repro.tools.serve --model Sentimental-seqLSTM --rate 100 \
+        --requests 200 --max-batch 16 --pipeline-devices 4
+    python -m repro.tools.serve --model SmallCNN --grid 3,2,2 \
+        --arrival uniform --rate 1000 --requests 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import FTDLError
+from repro.overlay.config import OverlayConfig, PAPER_EXAMPLE_CONFIG
+from repro.serving import (
+    AdmissionPolicy,
+    BatchPolicy,
+    BatchServiceModel,
+    PipelineService,
+    ReplicaService,
+    ServingEngine,
+    make_requests,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.mlperf import MLPERF_MODELS, build_model
+from repro.workloads.models import build_smallcnn
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.serve", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--model", default="SmallCNN",
+        choices=[*MLPERF_MODELS, "SmallCNN"],
+    )
+    parser.add_argument(
+        "--grid", default=None, metavar="D1,D2,D3",
+        help="overlay grid (default: the paper's 12,5,20)",
+    )
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="independent overlay replicas")
+    parser.add_argument(
+        "--pipeline-devices", type=int, default=0, metavar="N",
+        help="partition the model across N devices per replica "
+             "(0 = single-overlay replicas)",
+    )
+    parser.add_argument("--arrival", choices=("poisson", "uniform"),
+                        default="poisson")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="offered load, requests/s")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="number of requests to serve")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="batch formation deadline")
+    parser.add_argument("--queue-capacity", type=int, default=256)
+    parser.add_argument("--slo-ms", type=float, default=50.0,
+                        help="latency objective for violation accounting")
+    parser.add_argument("--cache-entries", type=int, default=None,
+                        help="bound the schedule cache (LRU eviction)")
+    return parser
+
+
+def _build_network(name: str):
+    if name == "SmallCNN":
+        return build_smallcnn()
+    return build_model(name)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.grid:
+            try:
+                d1, d2, d3 = (int(x) for x in args.grid.split(","))
+            except ValueError:
+                print(f"error: --grid expects three integers D1,D2,D3, "
+                      f"got {args.grid!r}", file=sys.stderr)
+                return 1
+            config = OverlayConfig(d1=d1, d2=d2, d3=d3)
+        else:
+            config = PAPER_EXAMPLE_CONFIG
+        network = _build_network(args.model)
+
+        if args.pipeline_devices > 0:
+            service = PipelineService(
+                network, config,
+                n_devices=args.pipeline_devices,
+                n_replicas=args.replicas,
+            )
+            shape = (f"{args.replicas} x {service.n_devices}-device "
+                     f"pipeline")
+        else:
+            from repro.compiler.cache import ScheduleCache
+            cache = ScheduleCache(config, max_entries=args.cache_entries)
+            service = ReplicaService(
+                BatchServiceModel(network, config, cache=cache),
+                n_replicas=args.replicas,
+            )
+            shape = f"{args.replicas} overlay replica(s)"
+
+        if args.arrival == "poisson":
+            times = poisson_arrivals(args.rate, args.requests,
+                                     seed=args.seed)
+        else:
+            times = uniform_arrivals(args.rate, args.requests)
+        requests = make_requests(times, network.name)
+
+        engine = ServingEngine(
+            service,
+            batch_policy=BatchPolicy(
+                max_batch=args.max_batch,
+                max_wait_s=args.max_wait_ms * 1e-3,
+            ),
+            admission_policy=AdmissionPolicy(capacity=args.queue_capacity),
+            slo_s=args.slo_ms * 1e-3,
+        )
+        print(f"{network.name} on {shape}, grid "
+              f"{config.d1}x{config.d2}x{config.d3} @ "
+              f"{config.clk_h_mhz:.0f} MHz; {args.arrival} traffic at "
+              f"{args.rate:g} req/s (seed {args.seed})")
+        report = engine.run(requests)
+    except FTDLError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

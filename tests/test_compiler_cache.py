@@ -1,0 +1,77 @@
+"""Schedule cache: memoization, LRU bound, counters."""
+
+import pytest
+
+from repro.compiler.cache import ScheduleCache, layer_signature
+from repro.errors import ScheduleError
+from repro.workloads.layers import MatMulLayer
+
+
+def _mm(i: int, features: int = 8) -> MatMulLayer:
+    return MatMulLayer(f"mm{i}", in_features=features, out_features=8)
+
+
+class TestMemoization:
+    def test_shape_twins_hit(self, tiny_config):
+        cache = ScheduleCache(tiny_config)
+        a = cache.schedule(MatMulLayer("a", in_features=16, out_features=8))
+        b = cache.schedule(MatMulLayer("b", in_features=16, out_features=8))
+        assert cache.hits == 1 and cache.misses == 1
+        assert a.mapping == b.mapping
+        assert b.layer.name == "b"  # rebound to the twin, not renamed
+
+    def test_signature_distinguishes_batch(self):
+        a = MatMulLayer("x", in_features=8, out_features=8, batch=1)
+        b = MatMulLayer("x", in_features=8, out_features=8, batch=2)
+        assert layer_signature(a) != layer_signature(b)
+
+
+class TestLruBound:
+    def test_unbounded_by_default(self, tiny_config):
+        cache = ScheduleCache(tiny_config)
+        for i in range(4):
+            cache.schedule(_mm(i, features=8 + 8 * i))
+        assert len(cache) == 4
+        assert cache.evictions == 0
+
+    def test_eviction_past_bound(self, tiny_config):
+        cache = ScheduleCache(tiny_config, max_entries=2)
+        for i in range(4):
+            cache.schedule(_mm(i, features=8 + 8 * i))
+        assert len(cache) == 2
+        assert cache.evictions == 2
+
+    def test_lru_order_evicts_coldest(self, tiny_config):
+        cache = ScheduleCache(tiny_config, max_entries=2)
+        first = _mm(0, features=8)
+        cache.schedule(first)            # miss: {8}
+        cache.schedule(_mm(1, features=16))   # miss: {8, 16}
+        cache.schedule(first)            # hit, refreshes 8
+        cache.schedule(_mm(2, features=24))   # miss, evicts 16
+        misses = cache.misses
+        cache.schedule(first)            # still cached
+        assert cache.misses == misses
+        cache.schedule(_mm(3, features=16))   # 16 was evicted: miss
+        assert cache.misses == misses + 1
+
+    def test_invalid_bound(self, tiny_config):
+        with pytest.raises(ScheduleError):
+            ScheduleCache(tiny_config, max_entries=0)
+
+
+class TestStats:
+    def test_counters_snapshot(self, tiny_config):
+        cache = ScheduleCache(tiny_config, max_entries=1)
+        cache.schedule(_mm(0, features=8))
+        cache.schedule(_mm(0, features=8))
+        cache.schedule(_mm(1, features=16))
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 2, 1)
+        assert stats.size == 1
+        assert stats.max_entries == 1
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert "evictions" in stats.describe()
+
+    def test_empty_hit_rate(self, tiny_config):
+        assert ScheduleCache(tiny_config).stats().hit_rate == 0.0

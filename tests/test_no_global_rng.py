@@ -1,0 +1,52 @@
+"""Guard: no module-level RNG state anywhere in the library.
+
+Every stochastic path (random schedule search, Poisson arrivals, golden
+operand draws) must take an explicit seed and build a local generator
+(``random.Random(seed)`` / ``np.random.default_rng(seed)``).  Calling
+the module-level conveniences (``random.random()``,
+``np.random.rand()``, ``random.seed()``) would thread hidden global
+state through results and break run-to-run reproducibility.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+#: ``random.<anything>(`` except the Random class constructor; the
+#: leading lookbehind keeps ``np.random.default_rng`` out of scope here
+#: (the numpy pattern below owns that namespace).
+_STDLIB_GLOBAL = re.compile(r"(?<!\.)\brandom\.(?!Random\b)[a-z_]+\s*\(")
+#: ``np.random.<anything>`` except default_rng / the Generator type.
+_NUMPY_GLOBAL = re.compile(
+    r"\b(?:np|numpy)\.random\.(?!default_rng\b|Generator\b)\w+"
+)
+
+
+def _violations(pattern: re.Pattern) -> list[str]:
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if pattern.search(code):
+                found.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    return found
+
+
+def test_no_stdlib_global_rng():
+    assert _violations(_STDLIB_GLOBAL) == []
+
+
+def test_no_numpy_global_rng():
+    assert _violations(_NUMPY_GLOBAL) == []
+
+
+def test_randsearch_requires_explicit_seed(tiny_config, small_mm):
+    from repro.compiler.randsearch import random_schedule_search
+
+    with pytest.raises(TypeError):
+        random_schedule_search(small_mm, tiny_config, 10)  # no seed

@@ -6,7 +6,7 @@ from repro.analysis.partition import (
     partition_by_weight_groups,
     plan_deployment,
 )
-from repro.errors import FTDLError
+from repro.errors import FTDLError, PartitionError
 from repro.overlay.config import OverlayConfig
 from repro.units import BYTES_PER_WORD
 from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
@@ -119,3 +119,82 @@ class TestDeploymentPlan:
     def test_single_device_plan(self, config):
         plan = plan_deployment(_net(), config, n_devices=1)
         assert plan.n_devices == 1
+
+
+class TestDeploymentEdgeCases:
+    @pytest.fixture
+    def config(self):
+        return OverlayConfig(
+            d1=4, d2=2, d3=2, s_actbuf_words=128,
+            s_wbuf_words=1024, s_psumbuf_words=2048,
+        )
+
+    def test_single_device_matches_whole_network(self, config):
+        """n_devices=1 keeps every layer in one stage, nothing dropped."""
+        plan = plan_deployment(_net(), config, n_devices=1)
+        (stage,) = plan.stages
+        assert [l.name for l in stage.partition.layers] == \
+            [l.name for l in _net().layers]
+        assert plan.bottleneck_cycles == stage.result.total_cycles
+
+    def test_uneven_weight_groups_cover_all_layers(self, config):
+        """Groups that don't divide evenly still partition losslessly."""
+        # One dominant group (g0: 6 layers) and two singletons — no split
+        # of 3 devices gets equal bytes.
+        net = Network(
+            name="uneven", application="test",
+            layers=tuple(
+                MatMulLayer(f"t{i}", 64, 64, weight_group="g0")
+                for i in range(6)
+            ) + (
+                MatMulLayer("solo1", 8, 8),
+                MatMulLayer("solo2", 8, 8),
+            ),
+        )
+        plan = plan_deployment(net, config, n_devices=3)
+        assert 1 <= plan.n_devices <= 3
+        deployed = [
+            l.name for s in plan.stages for l in s.partition.layers
+        ]
+        assert deployed == [l.name for l in net.layers]
+        # The tied group never splits across stages.
+        g0_stages = {
+            i for i, s in enumerate(plan.stages)
+            for l in s.partition.accelerated_layers()
+            if l.weight_group == "g0"
+        }
+        assert len(g0_stages) == 1
+
+    def test_more_devices_than_weight_groups(self, config):
+        plan = plan_deployment(_tied_net(), config, n_devices=10)
+        assert 1 <= plan.n_devices <= 2  # only two groups exist
+
+    def test_ewop_only_network_raises_typed_error(self, config):
+        net = Network(
+            name="ewonly", application="test",
+            layers=(EwopLayer("r", op="relu", n_elements=64),),
+        )
+        with pytest.raises(PartitionError):
+            plan_deployment(net, config, n_devices=2)
+
+    def test_too_large_for_residency_raises_typed_error(self, config):
+        """A model whose weights can never sit in WBUF raises a
+        repro.errors error under require_resident, not a crash."""
+        # 512x512 MM = 256 Ki words/layer vs a 16 Ki-word WBUF budget.
+        net = Network(
+            name="huge", application="test",
+            layers=tuple(
+                MatMulLayer(f"fc{i}", 512, 512) for i in range(4)
+            ),
+        )
+        with pytest.raises(FTDLError):
+            plan_deployment(net, config, n_devices=2,
+                            require_resident=True)
+
+    def test_residency_requirement_satisfiable(self, config):
+        """require_resident passes when the partitions do fit."""
+        import dataclasses
+        roomy = dataclasses.replace(config, s_wbuf_words=8192)
+        plan = plan_deployment(_net(), roomy, n_devices=2,
+                               require_resident=True)
+        assert plan.all_resident

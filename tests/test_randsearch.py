@@ -38,7 +38,7 @@ class TestRandomSearch:
 
     def test_bad_budget_rejected(self, small_mm, tiny_config):
         with pytest.raises(ScheduleError):
-            random_schedule_search(small_mm, tiny_config, budget=0)
+            random_schedule_search(small_mm, tiny_config, budget=0, seed=0)
 
     def test_mm_layer_supported(self, small_mm, tiny_config):
         schedule, _ = random_schedule_search(

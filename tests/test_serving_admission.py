@@ -1,0 +1,47 @@
+"""Admission control: bounded queue, backpressure, degradation band."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+
+
+class TestAdmissionPolicy:
+    def test_invalid_capacity(self):
+        with pytest.raises(ServingError):
+            AdmissionPolicy(capacity=0)
+
+    @pytest.mark.parametrize("watermark", [0.0, -0.5, 1.5])
+    def test_invalid_watermark(self, watermark):
+        with pytest.raises(ServingError):
+            AdmissionPolicy(degrade_watermark=watermark)
+
+
+class TestAdmissionController:
+    def test_admits_below_capacity(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=2))
+        assert ctl.admit(0)
+        assert ctl.admit(1)
+        assert ctl.admitted == 2
+        assert ctl.rejected == 0
+
+    def test_rejects_at_capacity(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=2))
+        assert not ctl.admit(2)
+        assert ctl.rejected == 1
+        assert ctl.rejection_rate == 1.0
+
+    def test_degraded_band(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=100, degrade_watermark=0.75)
+        )
+        assert not ctl.degraded(74)
+        assert ctl.degraded(75)
+        assert ctl.degraded(100)
+
+    def test_offered_counts_both(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=1))
+        ctl.admit(0)
+        ctl.admit(1)
+        assert ctl.offered == 2
+        assert ctl.rejection_rate == pytest.approx(0.5)

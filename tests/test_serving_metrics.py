@@ -1,0 +1,84 @@
+"""Percentiles, SLO accounting, and report aggregation."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.metrics import ServingReport, percentile
+from repro.serving.request import InferenceRequest
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 0) == 1.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServingError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ServingError):
+            percentile([1.0], 101)
+
+
+def _record(i, arrival, dispatch, complete, batch=1, replica="r0"):
+    return InferenceRequest(
+        request_id=i, model="m", arrival_s=arrival, dispatch_s=dispatch,
+        complete_s=complete, batch_size=batch, replica=replica,
+    )
+
+
+def _report(completed, rejected=0, slo_s=1.0, makespan=10.0):
+    return ServingReport(
+        model="m", completed=tuple(completed), n_rejected=rejected,
+        slo_s=slo_s, makespan_s=makespan, queue_depth_time_avg=0.0,
+        queue_depth_max=0, utilization={"r0": 0.5},
+    )
+
+
+class TestServingReport:
+    def test_throughput(self):
+        report = _report(
+            [_record(i, 0.0, 0.0, 1.0) for i in range(20)], makespan=2.0
+        )
+        assert report.throughput_rps == pytest.approx(10.0)
+
+    def test_slo_counts_late_and_rejected(self):
+        completed = [
+            _record(0, 0.0, 0.0, 0.5),   # meets 1 s SLO
+            _record(1, 0.0, 0.0, 1.5),   # misses
+        ]
+        report = _report(completed, rejected=2)
+        assert report.slo_violations == 3
+        assert report.slo_violation_rate == pytest.approx(3 / 4)
+
+    def test_mean_batch_size_weighs_batches_not_requests(self):
+        # One batch of 4 at t=1 and one straggler batch of 1 at t=2.
+        completed = [
+            *[_record(i, 0.0, 1.0, 1.5, batch=4) for i in range(4)],
+            _record(4, 1.9, 2.0, 2.5, batch=1),
+        ]
+        report = _report(completed)
+        assert report.mean_batch_size == pytest.approx(2.5)
+
+    def test_describe_mentions_key_metrics(self):
+        report = _report([_record(0, 0.0, 0.1, 0.4)])
+        text = report.describe()
+        assert "p99" in text and "SLO" in text and "util" in text
+
+    def test_empty_report_safe(self):
+        report = _report([], rejected=3)
+        assert report.throughput_rps == 0.0 or report.makespan_s > 0
+        assert report.slo_violation_rate == 1.0
+        assert report.mean_latency_s == 0.0
+        assert "rejected" in report.describe()

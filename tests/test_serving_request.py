@@ -1,0 +1,91 @@
+"""Arrival generators and request lifecycle."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.request import (
+    InferenceRequest,
+    make_requests,
+    poisson_arrivals,
+    trace_arrivals,
+    uniform_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(100.0, 50, seed=7)
+        b = poisson_arrivals(100.0, 50, seed=7)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        assert poisson_arrivals(100.0, 50, seed=7) != \
+            poisson_arrivals(100.0, 50, seed=8)
+
+    def test_sorted_and_positive(self):
+        times = poisson_arrivals(500.0, 200, seed=3)
+        assert all(t >= 0 for t in times)
+        assert times == sorted(times)
+
+    def test_mean_rate_approximates_target(self):
+        rate = 1000.0
+        times = poisson_arrivals(rate, 5000, seed=1)
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(rate, rel=0.1)
+
+    def test_seed_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            poisson_arrivals(100.0, 10, 7)  # type: ignore[misc]
+
+    def test_start_offset(self):
+        times = poisson_arrivals(100.0, 10, seed=0, start_s=5.0)
+        assert times[0] > 5.0
+
+    @pytest.mark.parametrize("rate,n", [(0.0, 10), (-1.0, 10), (10.0, 0)])
+    def test_invalid_args(self, rate, n):
+        with pytest.raises(ServingError):
+            poisson_arrivals(rate, n, seed=0)
+
+
+class TestUniformArrivals:
+    def test_even_spacing(self):
+        times = uniform_arrivals(100.0, 5)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.01) for g in gaps)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ServingError):
+            uniform_arrivals(0.0, 5)
+
+
+class TestTraceArrivals:
+    def test_valid_trace_passes_through(self):
+        assert trace_arrivals([0.0, 0.5, 0.5, 1.0]) == [0.0, 0.5, 0.5, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServingError):
+            trace_arrivals([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ServingError):
+            trace_arrivals([1.0, 0.5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ServingError):
+            trace_arrivals([-0.1, 0.5])
+
+
+class TestRequests:
+    def test_make_requests_ids_dense(self):
+        reqs = make_requests([0.1, 0.2, 0.3], "m")
+        assert [r.request_id for r in reqs] == [0, 1, 2]
+        assert all(r.model == "m" for r in reqs)
+
+    def test_latency_requires_completion(self):
+        req = InferenceRequest(request_id=0, model="m", arrival_s=0.0)
+        with pytest.raises(ServingError):
+            _ = req.latency_s
+        req.dispatch_s = 0.5
+        req.complete_s = 1.25
+        assert req.queue_wait_s == pytest.approx(0.5)
+        assert req.latency_s == pytest.approx(1.25)
