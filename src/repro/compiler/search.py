@@ -509,3 +509,27 @@ def schedule_layer(
 ) -> Schedule:
     """Convenience wrapper: best schedule for ``layer`` on ``config``."""
     return ScheduleSearch(layer, config, objective=objective, top_k=1).run()[0]
+
+
+def schedule_network(
+    network,
+    config: OverlayConfig,
+    objective: str = "performance",
+    cache=None,
+) -> list[Schedule]:
+    """Best schedule per accelerated layer of ``network``, in layer order.
+
+    The whole-network entry point behind network evaluation, the serving
+    batch model, and fault-aware degraded compilation: shape twins are
+    deduplicated through one :class:`~repro.compiler.cache.ScheduleCache`
+    (a fresh unbounded one when ``cache`` is None).
+
+    Raises:
+        ScheduleError: if any layer has no feasible mapping on ``config``.
+    """
+    # Local import: cache.py imports this module at load time.
+    from repro.compiler.cache import ScheduleCache
+
+    if cache is None:
+        cache = ScheduleCache(config, objective=objective)
+    return [cache.schedule(layer) for layer in network.accelerated_layers()]

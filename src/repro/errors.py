@@ -2,6 +2,25 @@
 
 All library-specific errors derive from :class:`FTDLError` so callers can
 catch a single base class at API boundaries.
+
+==========================  =====================================================
+Class                       Raised when
+==========================  =====================================================
+:class:`DeviceError`        a device model is malformed / unknown device requested
+:class:`ResourceError`      an overlay configuration does not fit on the device
+:class:`ClockingError`      a clock configuration violates primitive timing limits
+:class:`MappingError`       a mapping vector is structurally invalid
+:class:`ScheduleError`      no feasible schedule exists for a layer
+:class:`WorkloadError`      a layer or network definition is malformed
+:class:`SimulationError`    the cycle simulator detects an inconsistency
+:class:`IsaError`           an instruction cannot be encoded or decoded
+:class:`PartitionError`     a multi-FPGA partitioning cannot produce a plan
+:class:`ServingError`       the serving runtime is configured inconsistently
+:class:`FaultError`         a fault event / mask / schedule is invalid, or a
+                            fault leaves the overlay with no healthy sub-grid
+:class:`RetryExhaustedError`  a request burned every dispatch attempt under
+                            repeated faults (subclass of :class:`FaultError`)
+==========================  =====================================================
 """
 
 from __future__ import annotations
@@ -49,3 +68,62 @@ class PartitionError(FTDLError):
 
 class ServingError(FTDLError):
     """The serving runtime was configured or driven inconsistently."""
+
+
+class FaultError(FTDLError):
+    """A fault event, mask, or schedule is invalid — or a fault leaves the
+    system unable to make progress (e.g. no healthy sub-grid remains).
+
+    Carries structured context so chaos tooling can aggregate failures
+    without parsing messages:
+
+    Attributes:
+        replica: Replica / device name the fault concerns (``None`` when
+            the error is not tied to one replica).
+        at_s: Virtual-clock timestamp of the triggering event, seconds
+            (``None`` when the error is not tied to an instant).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        replica: str | None = None,
+        at_s: float | None = None,
+    ):
+        context = []
+        if replica is not None:
+            context.append(f"replica={replica}")
+        if at_s is not None:
+            context.append(f"t={at_s:.6f}s")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+        self.replica = replica
+        self.at_s = at_s
+
+
+class RetryExhaustedError(FaultError):
+    """A request used every dispatch attempt without completing.
+
+    Attributes:
+        request_id: The exhausted request.
+        attempts: Dispatch attempts consumed (== the retry policy's cap).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        request_id: int,
+        attempts: int,
+        replica: str | None = None,
+        at_s: float | None = None,
+    ):
+        super().__init__(
+            f"{message} (request {request_id} after {attempts} attempts)",
+            replica=replica,
+            at_s=at_s,
+        )
+        self.request_id = request_id
+        self.attempts = attempts

@@ -1,0 +1,141 @@
+"""Fault event taxonomy over the virtual clock.
+
+Every event is a frozen dataclass with a virtual timestamp ``at_s`` and
+the replica it strikes; a :class:`~repro.faults.schedule.FaultSchedule`
+is just a sorted tuple of them.  The taxonomy mirrors what actually goes
+wrong in an FPGA fleet:
+
+* :class:`TPEFault` — a DSP/BRAM tile failure inside the ``D1×D2×D3``
+  grid.  ``stuck=True`` models a hard (stuck-at) fault: the tile is
+  masked for the rest of the run and the replica recompiles onto its
+  largest healthy sub-grid.  ``stuck=False`` models a transient upset
+  (SEU): the batch in flight is corrupted and must be retried, but the
+  tile stays usable.
+* :class:`DramBitFlip` — an off-chip memory upset.  ECC-correctable
+  flips are counted and absorbed; uncorrectable flips poison the batch
+  in flight.
+* :class:`LinkFault` — a transient bus/link glitch (ActBUS/PSumBUS or
+  host link); the batch in flight is retried.
+* :class:`ReplicaCrash` / :class:`ReplicaRecovery` — the whole replica
+  (board, shell, or host process) goes away and later returns.
+* :class:`ReplicaSlowdown` — the replica keeps serving but slower (e.g.
+  thermal throttling or a congested host); cleared by the next
+  :class:`ReplicaRecovery`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+#: (sb_row, sb_col, chain_pos): SuperBlock row in [0, D3), column in
+#: [0, D2), TPE position along the cascade chain in [0, D1).
+TpeCoord = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one fault striking ``replica`` at virtual ``at_s``."""
+
+    at_s: float
+    replica: str
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.at_s) or self.at_s < 0:
+            raise FaultError(
+                f"fault timestamp must be finite and >= 0, got {self.at_s}",
+                replica=self.replica,
+            )
+        if not self.replica:
+            raise FaultError(f"fault event at {self.at_s} names no replica")
+
+    @property
+    def kind(self) -> str:
+        """Short counter key, e.g. ``"crash"`` or ``"tpe_stuck"``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TPEFault(FaultEvent):
+    """A DSP/BRAM tile fault at one TPE coordinate of the grid."""
+
+    sb_row: int
+    sb_col: int
+    chain_pos: int
+    stuck: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if min(self.sb_row, self.sb_col, self.chain_pos) < 0:
+            raise FaultError(
+                f"TPE coordinate must be non-negative, got "
+                f"({self.sb_row}, {self.sb_col}, {self.chain_pos})",
+                replica=self.replica, at_s=self.at_s,
+            )
+
+    @property
+    def coord(self) -> TpeCoord:
+        return (self.sb_row, self.sb_col, self.chain_pos)
+
+    @property
+    def kind(self) -> str:
+        return "tpe_stuck" if self.stuck else "tpe_transient"
+
+
+@dataclass(frozen=True)
+class DramBitFlip(FaultEvent):
+    """An off-chip DRAM upset; ``correctable`` means ECC absorbs it."""
+
+    correctable: bool = True
+
+    @property
+    def kind(self) -> str:
+        return "dram_ecc" if self.correctable else "dram_uncorrectable"
+
+
+@dataclass(frozen=True)
+class LinkFault(FaultEvent):
+    """A transient bus/link glitch poisoning the batch in flight."""
+
+    @property
+    def kind(self) -> str:
+        return "link"
+
+
+@dataclass(frozen=True)
+class ReplicaCrash(FaultEvent):
+    """The replica stops serving; its in-flight batch is lost."""
+
+    @property
+    def kind(self) -> str:
+        return "crash"
+
+
+@dataclass(frozen=True)
+class ReplicaSlowdown(FaultEvent):
+    """The replica serves ``factor``× slower until the next recovery."""
+
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.factor) or self.factor < 1.0:
+            raise FaultError(
+                f"slowdown factor must be finite and >= 1, got {self.factor}",
+                replica=self.replica, at_s=self.at_s,
+            )
+
+    @property
+    def kind(self) -> str:
+        return "slowdown"
+
+
+@dataclass(frozen=True)
+class ReplicaRecovery(FaultEvent):
+    """The replica returns to healthy full-speed service."""
+
+    @property
+    def kind(self) -> str:
+        return "recovery"

@@ -1,0 +1,132 @@
+"""Fault masks and the largest-healthy-sub-grid derivation.
+
+FTDL's overlay is a uniform ``D1×D2×D3`` grid: D1 TPEs cascade into a
+SuperBlock chain, D2 SuperBlocks form a SIMD row, D3 rows run under
+independent controllers.  The compiler's mapping space assumes the grid
+is *rectangular and uniform*, so the degraded-mode strategy is not to
+schedule around individual dead tiles but to carve out the largest
+healthy sub-grid ``(d1', d2', d3')`` and recompile for it:
+
+* ``d1'`` — every SuperBlock in use must offer at least ``d1'`` healthy
+  chain positions (faulty TPEs at the chain tail are bypassed; the
+  usable chain is the count of healthy positions).
+* ``d2'`` / ``d3'`` — a row contributes only if at least ``d2'`` of its
+  SuperBlocks meet the ``d1'`` bar; ``d3'`` is the number of such rows.
+
+:func:`largest_healthy_subgrid` maximizes ``d1' * d2' * d3'`` jointly —
+clustered faults (a bad DSP column, a dead row) cost exactly their
+region, and scattered faults degrade by shortening the uniform chain
+rather than cliffing the whole grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Iterable
+
+from repro.errors import FaultError
+from repro.faults.events import TPEFault, TpeCoord
+from repro.overlay.config import OverlayConfig
+
+
+@dataclass(frozen=True)
+class FaultMask:
+    """An immutable set of masked (faulty) TPE coordinates."""
+
+    masked: frozenset[TpeCoord] = frozenset()
+
+    @classmethod
+    def from_coords(cls, coords: Iterable[TpeCoord]) -> "FaultMask":
+        return cls(masked=frozenset(tuple(c) for c in coords))
+
+    @classmethod
+    def from_faults(cls, faults: Iterable[TPEFault]) -> "FaultMask":
+        """Mask from the *stuck-at* faults of an event stream."""
+        return cls(masked=frozenset(f.coord for f in faults if f.stuck))
+
+    def add(self, coord: TpeCoord) -> "FaultMask":
+        return FaultMask(masked=self.masked | {tuple(coord)})
+
+    def __len__(self) -> int:
+        return len(self.masked)
+
+    def __bool__(self) -> bool:
+        return bool(self.masked)
+
+    def fraction(self, config: OverlayConfig) -> float:
+        """Masked share of the grid's TPEs."""
+        return len(self.masked) / config.n_tpe
+
+    def validate(self, config: OverlayConfig) -> None:
+        """Check every coordinate lies inside ``config``'s grid.
+
+        Raises:
+            FaultError: for an out-of-range coordinate.
+        """
+        for sb_row, sb_col, chain_pos in self.masked:
+            if not (0 <= sb_row < config.d3 and 0 <= sb_col < config.d2
+                    and 0 <= chain_pos < config.d1):
+                raise FaultError(
+                    f"TPE coordinate ({sb_row}, {sb_col}, {chain_pos}) "
+                    f"outside grid {config.d1}x{config.d2}x{config.d3}"
+                )
+
+
+def largest_healthy_subgrid(
+    config: OverlayConfig,
+    mask: FaultMask | Collection[TpeCoord],
+) -> OverlayConfig:
+    """The best uniform sub-grid of ``config`` avoiding masked TPEs.
+
+    Maximizes retained TPEs ``d1' * d2' * d3'``; ties prefer a longer
+    chain (``d1'``), then more rows (``d3'``) — longer chains amortize
+    the SuperBlock fill latency, and rows are independent controllers.
+
+    Raises:
+        FaultError: if a coordinate is out of range or no healthy
+            sub-grid remains.
+    """
+    if not isinstance(mask, FaultMask):
+        mask = FaultMask.from_coords(mask)
+    mask.validate(config)
+    if not mask:
+        return config
+
+    # Healthy chain positions per SuperBlock.
+    faults_per_sb: dict[tuple[int, int], set[int]] = {}
+    for sb_row, sb_col, chain_pos in mask.masked:
+        faults_per_sb.setdefault((sb_row, sb_col), set()).add(chain_pos)
+    healthy = [
+        [
+            config.d1 - len(faults_per_sb.get((row, col), ()))
+            for col in range(config.d2)
+        ]
+        for row in range(config.d3)
+    ]
+
+    # Candidate chain lengths: every distinct healthy count (plus d1).
+    candidates = sorted(
+        {config.d1} | {h for row in healthy for h in row if h > 0},
+        reverse=True,
+    )
+    best: tuple[int, int, int, int] | None = None  # (n_tpe, d1', d3', d2')
+    for d1p in candidates:
+        # Per row: SuperBlocks offering at least d1' healthy positions.
+        good = sorted(
+            (sum(1 for h in row if h >= d1p) for row in healthy),
+            reverse=True,
+        )
+        for d3p, d2p in enumerate(good, start=1):
+            if d2p == 0:
+                break
+            key = (d1p * d2p * d3p, d1p, d3p, d2p)
+            if best is None or key > best:
+                best = key
+    if best is None:
+        raise FaultError(
+            f"no healthy sub-grid remains of "
+            f"{config.d1}x{config.d2}x{config.d3} "
+            f"({len(mask)} TPEs masked)"
+        )
+    _, d1p, d3p, d2p = best
+    return config.with_grid(d1p, d2p, d3p)

@@ -1,0 +1,124 @@
+"""Replica health monitoring: downtime accounting, MTTR, availability.
+
+The serving engine feeds crash / slowdown / recovery transitions into a
+:class:`HealthMonitor` as they happen on the virtual clock; at the end
+of a run the monitor is finalized against the makespan and snapshotted
+into an immutable :class:`HealthReport` that rides inside the serving
+metrics.  MTTR is the mean of *completed* crash→recovery intervals;
+replica-level availability is uptime over replica-seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Immutable end-of-run health summary.
+
+    Attributes:
+        n_replicas: Replicas monitored.
+        crashes: Crash transitions observed.
+        slowdowns: Slowdown transitions observed.
+        recoveries: Recovery transitions observed.
+        mttr_s: Mean time to recovery over completed crash→recovery
+            intervals (0 when no crash recovered).
+        downtime_s: Total crashed replica-seconds (unrecovered crashes
+            count up to the end of the run).
+        span_s: Monitored horizon, seconds.
+        per_replica_downtime_s: Crashed seconds per replica.
+    """
+
+    n_replicas: int
+    crashes: int
+    slowdowns: int
+    recoveries: int
+    mttr_s: float
+    downtime_s: float
+    span_s: float
+    per_replica_downtime_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def uptime_fraction(self) -> float:
+        """Healthy share of replica-seconds over the monitored span."""
+        total = self.n_replicas * self.span_s
+        if total <= 0:
+            return 1.0
+        return 1.0 - min(1.0, self.downtime_s / total)
+
+    def describe(self) -> str:
+        return (
+            f"{self.crashes} crashes / {self.slowdowns} slowdowns / "
+            f"{self.recoveries} recoveries; MTTR {self.mttr_s * 1e3:.2f} ms; "
+            f"uptime {self.uptime_fraction:.2%} over "
+            f"{self.n_replicas} replica(s)"
+        )
+
+
+class HealthMonitor:
+    """Track per-replica up/down transitions on the virtual clock."""
+
+    def __init__(self, replicas: Sequence[str]):
+        if not replicas:
+            raise FaultError("health monitor needs at least one replica")
+        self._down_since: dict[str, float | None] = {
+            name: None for name in replicas
+        }
+        self._downtime: dict[str, float] = {name: 0.0 for name in replicas}
+        self._repairs: list[float] = []
+        self.crashes = 0
+        self.slowdowns = 0
+        self.recoveries = 0
+
+    def _check(self, replica: str, at_s: float) -> None:
+        if replica not in self._down_since:
+            raise FaultError("unknown replica", replica=replica, at_s=at_s)
+
+    def is_down(self, replica: str) -> bool:
+        return self._down_since.get(replica) is not None
+
+    def record_crash(self, replica: str, at_s: float) -> None:
+        self._check(replica, at_s)
+        if self._down_since[replica] is None:
+            self._down_since[replica] = at_s
+            self.crashes += 1
+
+    def record_slowdown(self, replica: str, at_s: float) -> None:
+        self._check(replica, at_s)
+        self.slowdowns += 1
+
+    def record_recovery(self, replica: str, at_s: float) -> None:
+        self._check(replica, at_s)
+        down_since = self._down_since[replica]
+        if down_since is not None:
+            self._repairs.append(at_s - down_since)
+            self._downtime[replica] += at_s - down_since
+            self._down_since[replica] = None
+        self.recoveries += 1
+
+    def finalize(self, end_s: float, start_s: float = 0.0) -> HealthReport:
+        """Close open downtime intervals at ``end_s`` and snapshot.
+
+        ``start_s`` anchors the monitored span (e.g. a serving run's
+        first arrival) without shifting the recorded transitions.
+        """
+        downtime = dict(self._downtime)
+        for replica, down_since in self._down_since.items():
+            if down_since is not None and end_s > down_since:
+                downtime[replica] += end_s - down_since
+        mttr = sum(self._repairs) / len(self._repairs) \
+            if self._repairs else 0.0
+        return HealthReport(
+            n_replicas=len(downtime),
+            crashes=self.crashes,
+            slowdowns=self.slowdowns,
+            recoveries=self.recoveries,
+            mttr_s=mttr,
+            downtime_s=sum(downtime.values()),
+            span_s=max(end_s - start_s, 0.0),
+            per_replica_downtime_s=downtime,
+        )

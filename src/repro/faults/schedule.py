@@ -1,0 +1,219 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultSchedule` is the chaos-engineering analogue of an arrival
+trace: a time-sorted tuple of fault events that the serving engine
+replays against the virtual clock.  :func:`generate_fault_schedule`
+draws one from independent per-replica Poisson processes (one per fault
+type) using a single explicit seed, so an identical seed always yields a
+bit-identical schedule — which is what makes chaos runs diffable against
+golden reports.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import FaultError
+from repro.faults.events import (
+    DramBitFlip,
+    FaultEvent,
+    LinkFault,
+    ReplicaCrash,
+    ReplicaRecovery,
+    ReplicaSlowdown,
+    TPEFault,
+    TpeCoord,
+)
+from repro.overlay.config import OverlayConfig
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A time-sorted, immutable sequence of fault events."""
+
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        if any(b.at_s < a.at_s
+               for a, b in zip(self.events, self.events[1:])):
+            raise FaultError("fault schedule is not sorted by timestamp")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        """Build a schedule, sorting events by (time, replica, kind)."""
+        ordered = sorted(events, key=lambda e: (e.at_s, e.replica, e.kind))
+        return cls(events=tuple(ordered))
+
+    def for_replica(self, replica: str) -> "FaultSchedule":
+        """The sub-schedule striking one replica."""
+        return FaultSchedule(
+            events=tuple(e for e in self.events if e.replica == replica)
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Event count per fault kind, sorted by kind."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def describe(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in self.counts().items())
+        return f"{len(self.events)} fault events ({counts or 'none'})"
+
+
+def _poisson_times(rng: random.Random, rate_hz: float,
+                   duration_s: float) -> list[float]:
+    """Event instants of one Poisson process over [0, duration)."""
+    times = []
+    t = rng.expovariate(rate_hz) if rate_hz > 0 else math.inf
+    while t < duration_s:
+        times.append(t)
+        t += rng.expovariate(rate_hz)
+    return times
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not math.isfinite(value) or value < 0:
+        raise FaultError(f"{name} must be finite and >= 0, got {value}")
+
+
+def generate_fault_schedule(
+    *,
+    seed: int,
+    duration_s: float,
+    replicas: Sequence[str],
+    grid: OverlayConfig | tuple[int, int, int] | None = None,
+    crash_rate_hz: float = 0.0,
+    mean_repair_s: float = 0.05,
+    slowdown_rate_hz: float = 0.0,
+    slowdown_factor: float = 2.0,
+    mean_slowdown_s: float = 0.02,
+    tpe_fault_rate_hz: float = 0.0,
+    stuck_fraction: float = 0.5,
+    bitflip_rate_hz: float = 0.0,
+    correctable_fraction: float = 0.9,
+    link_fault_rate_hz: float = 0.0,
+) -> FaultSchedule:
+    """Draw a deterministic fault schedule from seeded Poisson processes.
+
+    Args:
+        seed: RNG seed; identical inputs reproduce the schedule exactly.
+        duration_s: Horizon over which primary faults are drawn (paired
+            recovery events may land past it).
+        replicas: Replica names the faults are distributed over.
+        grid: Overlay shape for TPE faults — an :class:`OverlayConfig`
+            or a ``(d1, d2, d3)`` tuple.  Required when
+            ``tpe_fault_rate_hz > 0``.
+        crash_rate_hz: Per-replica crash rate; each crash is paired with
+            a recovery after an Exp(``mean_repair_s``) repair.
+        slowdown_rate_hz: Per-replica throttling rate; each slowdown of
+            ``slowdown_factor`` is cleared by a recovery after an
+            Exp(``mean_slowdown_s``) interval.
+        tpe_fault_rate_hz: Per-replica DSP/BRAM tile fault rate;
+            ``stuck_fraction`` of them are permanent stuck-at faults,
+            the rest transient upsets.
+        bitflip_rate_hz: Per-replica DRAM upset rate;
+            ``correctable_fraction`` are absorbed by ECC.
+        link_fault_rate_hz: Per-replica transient bus/link glitch rate.
+
+    Raises:
+        FaultError: for invalid rates/fractions, an empty replica list,
+            a non-positive duration, or a missing grid.
+    """
+    if not replicas:
+        raise FaultError("fault schedule needs at least one replica")
+    if len(set(replicas)) != len(replicas):
+        raise FaultError(f"replica names must be unique, got {replicas}")
+    if not math.isfinite(duration_s) or duration_s <= 0:
+        raise FaultError(
+            f"duration_s must be finite and positive, got {duration_s}"
+        )
+    for name, value in (
+        ("crash_rate_hz", crash_rate_hz),
+        ("slowdown_rate_hz", slowdown_rate_hz),
+        ("tpe_fault_rate_hz", tpe_fault_rate_hz),
+        ("bitflip_rate_hz", bitflip_rate_hz),
+        ("link_fault_rate_hz", link_fault_rate_hz),
+        ("mean_repair_s", mean_repair_s),
+        ("mean_slowdown_s", mean_slowdown_s),
+    ):
+        _check_rate(name, value)
+    for name, value in (
+        ("stuck_fraction", stuck_fraction),
+        ("correctable_fraction", correctable_fraction),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise FaultError(f"{name} must be in [0, 1], got {value}")
+    dims: tuple[int, int, int] | None = None
+    if isinstance(grid, OverlayConfig):
+        dims = (grid.d1, grid.d2, grid.d3)
+    elif grid is not None:
+        dims = tuple(grid)  # type: ignore[assignment]
+    if tpe_fault_rate_hz > 0 and dims is None:
+        raise FaultError("tpe_fault_rate_hz > 0 requires a grid")
+
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    # Fixed iteration order (replica list order, then fault type) keeps
+    # the draw sequence — and therefore the schedule — deterministic.
+    for replica in replicas:
+        for t in _poisson_times(rng, crash_rate_hz, duration_s):
+            events.append(ReplicaCrash(at_s=t, replica=replica))
+            repair = rng.expovariate(1.0 / mean_repair_s) \
+                if mean_repair_s > 0 else 0.0
+            events.append(ReplicaRecovery(at_s=t + repair, replica=replica))
+        for t in _poisson_times(rng, slowdown_rate_hz, duration_s):
+            events.append(ReplicaSlowdown(
+                at_s=t, replica=replica, factor=slowdown_factor))
+            length = rng.expovariate(1.0 / mean_slowdown_s) \
+                if mean_slowdown_s > 0 else 0.0
+            events.append(ReplicaRecovery(at_s=t + length, replica=replica))
+        for t in _poisson_times(rng, tpe_fault_rate_hz, duration_s):
+            assert dims is not None
+            d1, d2, d3 = dims
+            events.append(TPEFault(
+                at_s=t, replica=replica,
+                sb_row=rng.randrange(d3),
+                sb_col=rng.randrange(d2),
+                chain_pos=rng.randrange(d1),
+                stuck=rng.random() < stuck_fraction,
+            ))
+        for t in _poisson_times(rng, bitflip_rate_hz, duration_s):
+            events.append(DramBitFlip(
+                at_s=t, replica=replica,
+                correctable=rng.random() < correctable_fraction,
+            ))
+        for t in _poisson_times(rng, link_fault_rate_hz, duration_s):
+            events.append(LinkFault(at_s=t, replica=replica))
+    return FaultSchedule.from_events(events)
+
+
+def random_tpe_mask(
+    config: OverlayConfig, fraction: float, *, seed: int
+) -> frozenset[TpeCoord]:
+    """A seeded random mask covering ``fraction`` of the grid's TPEs.
+
+    Used by the chaos degradation curve: scatter ``fraction * n_tpe``
+    distinct stuck-at tile faults uniformly over the ``D1×D2×D3`` grid.
+
+    Raises:
+        FaultError: if ``fraction`` is outside [0, 1).
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise FaultError(f"mask fraction must be in [0, 1), got {fraction}")
+    n_masked = round(fraction * config.n_tpe)
+    rng = random.Random(seed)
+    flat = rng.sample(range(config.n_tpe), n_masked)
+    coords = []
+    for index in flat:
+        sb_row, rest = divmod(index, config.d2 * config.d1)
+        sb_col, chain_pos = divmod(rest, config.d1)
+        coords.append((sb_row, sb_col, chain_pos))
+    return frozenset(coords)

@@ -84,6 +84,11 @@ class OverlayConfig:
     # derived quantities
     # ------------------------------------------------------------------ #
     @property
+    def grid(self) -> tuple[int, int, int]:
+        """The ``(D1, D2, D3)`` shape as a tuple (e.g. for mask keys)."""
+        return (self.d1, self.d2, self.d3)
+
+    @property
     def n_tpe(self) -> int:
         """Total TPEs (== DSPs == MACCs per cycle at full utilization)."""
         return self.d1 * self.d2 * self.d3

@@ -15,9 +15,11 @@ Everything runs on a deterministic virtual clock:
   a :func:`repro.analysis.partition.plan_deployment` pipeline.
 * :mod:`repro.serving.admission` — bounded queues, backpressure, and
   graceful degradation to smaller batches under load.
-* :mod:`repro.serving.engine` — the event-driven loop.
+* :mod:`repro.serving.engine` — the event-driven loop, including
+  fault-tolerant execution against a :class:`repro.faults.FaultSchedule`
+  (failover, deadline-aware retry, degraded-mode dispatch).
 * :mod:`repro.serving.metrics` — throughput, p50/p95/p99, utilization,
-  SLO-violation accounting.
+  SLO-violation, availability, and drop-reason accounting.
 """
 
 from repro.serving.admission import AdmissionController, AdmissionPolicy
@@ -32,6 +34,7 @@ from repro.serving.engine import ServingEngine
 from repro.serving.metrics import ServingReport, percentile
 from repro.serving.request import (
     InferenceRequest,
+    RetryPolicy,
     make_requests,
     poisson_arrivals,
     trace_arrivals,
@@ -55,6 +58,7 @@ __all__ = [
     "InferenceRequest",
     "PipelineService",
     "ReplicaService",
+    "RetryPolicy",
     "ServingEngine",
     "ServingReport",
     "make_requests",

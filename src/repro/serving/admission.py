@@ -42,13 +42,23 @@ class AdmissionPolicy:
 
 
 class AdmissionController:
-    """Stateful gate in front of the batcher queue."""
+    """Stateful gate in front of the batcher queue.
+
+    Besides the watermark band, the controller carries *fault pressure*:
+    the serving engine raises :attr:`fault_pressure` while part of the
+    replica fleet is down, which forces the same degraded dispatch
+    regime (waived batch formation) regardless of queue depth — with
+    fewer replicas, draining beats batching.
+    """
 
     def __init__(self, policy: AdmissionPolicy):
         self.policy = policy
         self.admitted = 0
         self.rejected = 0
         self.degraded_dispatches = 0
+        #: Set by the engine while any replica is crashed; forces the
+        #: degraded dispatch regime independent of the watermark.
+        self.fault_pressure = False
 
     def admit(self, queue_depth: int) -> bool:
         """Whether a new arrival fits; counts the outcome either way."""
@@ -59,7 +69,9 @@ class AdmissionController:
         return True
 
     def degraded(self, queue_depth: int) -> bool:
-        """Whether the queue is deep enough to waive batch formation."""
+        """Whether to waive batch formation (deep queue or fault pressure)."""
+        if self.fault_pressure:
+            return True
         threshold = self.policy.degrade_watermark * self.policy.capacity
         return queue_depth >= threshold
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, replace
 from repro.compiler.cache import ScheduleCache
 from repro.errors import ServingError
 from repro.overlay.config import OverlayConfig
-from repro.serving.request import InferenceRequest
+from repro.serving.request import InferenceRequest, require_finite
 from repro.units import BYTES_PER_WORD
 from repro.workloads.layers import LayerKind, MatMulLayer
 from repro.workloads.network import Network
@@ -46,6 +46,7 @@ class BatchPolicy:
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        require_finite("max_wait_s", self.max_wait_s)
         if self.max_wait_s < 0:
             raise ServingError(
                 f"max_wait_s must be >= 0, got {self.max_wait_s}"
@@ -104,6 +105,23 @@ class Batcher:
             raise ServingError("batcher queue is empty")
         return self._queue[0].arrival_s + self.policy.max_wait_s
 
+    def next_expiry_s(self) -> float:
+        """Earliest request deadline in the queue (inf when none)."""
+        return min(
+            (r.deadline_at_s for r in self._queue), default=float("inf")
+        )
+
+    def expire(self, now_s: float) -> list[InferenceRequest]:
+        """Remove and return queued requests whose deadline has passed."""
+        if not self._queue:
+            return []
+        expired = [r for r in self._queue if r.expired(now_s)]
+        if expired:
+            self._queue = deque(
+                r for r in self._queue if not r.expired(now_s)
+            )
+        return expired
+
     def pop(self, now_s: float) -> Batch:
         """Form a batch of up to ``max_batch`` oldest requests."""
         if not self._queue:
@@ -112,6 +130,12 @@ class Batcher:
         while self._queue and len(taken) < self.policy.max_batch:
             taken.append(self._queue.popleft())
         return Batch(requests=tuple(taken), formed_s=now_s)
+
+    def pop_all(self) -> list[InferenceRequest]:
+        """Drain the whole queue (used to strand-drop unreachable work)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
 
 
 @dataclass(frozen=True)

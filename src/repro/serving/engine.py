@@ -1,9 +1,11 @@
 """Event-driven serving loop over a virtual clock.
 
-The engine is a discrete-event simulator with three event sources: the
-arrival trace, batch-formation deadlines, and batch completions.  It is
-fully deterministic — virtual time only, no wall clock, no RNG — so a
-fixed arrival trace always reproduces identical metrics bit-for-bit.
+The engine is a discrete-event simulator with five event sources: the
+arrival trace, batch-formation deadlines, batch completions, retry
+timers, and an optional :class:`~repro.faults.schedule.FaultSchedule`.
+It is fully deterministic — virtual time only, no wall clock, no RNG —
+so a fixed arrival trace and fault schedule always reproduce identical
+metrics bit-for-bit.
 
 A request's end-to-end latency decomposes exactly as:
 
@@ -13,27 +15,77 @@ A request's end-to-end latency decomposes exactly as:
 with the batch-formation wait folded into the queue wait: a request that
 arrives first and waits for the batch to fill pays that wait in its
 dispatch delta.
+
+Fault-tolerant execution (when a fault schedule is supplied):
+
+* **Crashes** take a replica out of dispatch; its in-flight batches are
+  lost and their requests retried on the surviving replicas under the
+  :class:`~repro.serving.request.RetryPolicy` (capped exponential
+  backoff, deadline-aware — a retry that cannot land before a request's
+  deadline drops it instead).
+* **Transient corruption** (SEU TPE faults, uncorrectable DRAM
+  bit-flips, link glitches) poisons the in-flight batches of the struck
+  replica — same retry path — while the replica stays up.
+* **Stuck-at TPE faults** permanently mask grid tiles: the replica's
+  service times inflate to its largest healthy sub-grid's compiled
+  schedule (fault-aware compilation).  If no sub-grid remains, the
+  replica is treated as crashed.
+* **Degraded-mode admission**: while any replica is down the admission
+  controller's *fault pressure* waives batch formation, draining the
+  queue through the survivors exactly like the deep-queue watermark.
+* Requests whose deadline expires in the queue are dropped and counted
+  with a reason breakdown; if every replica is down with no recovery in
+  sight, stranded work is dropped as ``no_healthy_replica``.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
+import math
 from typing import Sequence
 
-from repro.errors import ServingError
+from repro.errors import FaultError, ScheduleError, ServingError
+from repro.faults.events import (
+    DramBitFlip,
+    FaultEvent,
+    LinkFault,
+    ReplicaCrash,
+    ReplicaRecovery,
+    ReplicaSlowdown,
+    TPEFault,
+)
+from repro.faults.monitor import HealthMonitor
+from repro.faults.schedule import FaultSchedule
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.batcher import Batcher, BatchPolicy
 from repro.serving.metrics import ServingReport
-from repro.serving.request import InferenceRequest
+from repro.serving.request import InferenceRequest, RetryPolicy
 from repro.serving.scheduler import (
+    Dispatch,
     DispatchScheduler,
     PipelineService,
     ReplicaService,
 )
 
+#: Drop reasons the engine emits.
+DROP_DEADLINE = "deadline"
+DROP_RETRY_EXHAUSTED = "retry_exhausted"
+DROP_NO_REPLICA = "no_healthy_replica"
+
 
 class ServingEngine:
-    """Run one arrival trace through batcher → scheduler → replicas."""
+    """Run one arrival trace through batcher → scheduler → replicas.
+
+    Args:
+        service: Replica or pipeline deployment to dispatch onto.
+        batch_policy: Dynamic-batching knobs.
+        admission_policy: Queue bound and degradation knobs.
+        slo_s: Latency objective for violation accounting.
+        fault_schedule: Optional deterministic fault events to replay
+            against the run's virtual clock.
+        retry_policy: Backoff/attempt budget for fault retries.
+    """
 
     def __init__(
         self,
@@ -41,6 +93,8 @@ class ServingEngine:
         batch_policy: BatchPolicy | None = None,
         admission_policy: AdmissionPolicy | None = None,
         slo_s: float = 10e-3,
+        fault_schedule: FaultSchedule | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         if slo_s <= 0:
             raise ServingError(f"slo_s must be positive, got {slo_s}")
@@ -48,6 +102,8 @@ class ServingEngine:
         self.batch_policy = batch_policy or BatchPolicy()
         self.admission_policy = admission_policy or AdmissionPolicy()
         self.slo_s = slo_s
+        self.fault_schedule = fault_schedule
+        self.retry_policy = retry_policy or RetryPolicy()
 
     def run(self, requests: Sequence[InferenceRequest]) -> ServingReport:
         """Serve ``requests`` (sorted by arrival) to completion."""
@@ -61,20 +117,122 @@ class ServingEngine:
         batcher = Batcher(self.batch_policy)
         admission = AdmissionController(self.admission_policy)
         scheduler = DispatchScheduler(self.service)
+        faults: tuple[FaultEvent, ...] = (
+            self.fault_schedule.events if self.fault_schedule else ()
+        )
+        monitor = HealthMonitor(self.service.replica_names()) \
+            if faults else None
 
         now = requests[0].arrival_s
         arrival_idx = 0
+        fault_idx = 0
         seq = 0
-        inflight: list[tuple[float, int, object]] = []  # (done_s, seq, Dispatch)
+        retry_seq = itertools.count()
+        inflight: list[tuple[float, int, Dispatch]] = []
+        retryq: list[tuple[float, int, InferenceRequest]] = []
+        aborted: set[int] = set()
+        inflight_seqs: dict[int, Dispatch] = {}
         completed: list[InferenceRequest] = []
+        dropped: list[InferenceRequest] = []
+        fault_counts: dict[str, int] = {}
+        n_retries = 0
+        masked: dict[str, set] = {}  # replica -> stuck TPE coords
         depth_integral = 0.0
         depth_max = 0
         t_start = requests[0].arrival_s
         t_last_complete = t_start
 
-        while arrival_idx < len(requests) or len(batcher) or inflight:
-            # Admit every arrival due at the current instant first, so a
-            # burst landing at one timestamp batches together.
+        def drop(request: InferenceRequest, reason: str) -> None:
+            request.drop_reason = reason
+            dropped.append(request)
+
+        def retry_or_drop(request: InferenceRequest, at_s: float) -> None:
+            """Requeue a fault-struck request, or drop it."""
+            nonlocal n_retries
+            if request.attempts >= self.retry_policy.max_attempts:
+                drop(request, DROP_RETRY_EXHAUSTED)
+                return
+            retry_at = at_s + self.retry_policy.backoff_s(request.attempts)
+            if retry_at >= request.deadline_at_s:
+                drop(request, DROP_DEADLINE)
+                return
+            n_retries += 1
+            heapq.heappush(retryq, (retry_at, next(retry_seq), request))
+
+        def abort_inflight(replica: str, at_s: float) -> None:
+            """Poison every batch in flight on ``replica``."""
+            for seq_id, dispatch in list(inflight_seqs.items()):
+                if dispatch.replica != replica or seq_id in aborted:
+                    continue
+                aborted.add(seq_id)
+                del inflight_seqs[seq_id]
+                scheduler.by_name(replica).aborted_batches += 1
+                for request in dispatch.batch.requests:
+                    retry_or_drop(request, at_s)
+
+        def apply_fault(event: FaultEvent) -> None:
+            assert monitor is not None
+            fault_counts[event.kind] = fault_counts.get(event.kind, 0) + 1
+            if isinstance(event, ReplicaCrash):
+                replica = scheduler.by_name(event.replica)
+                if replica.healthy:
+                    abort_inflight(event.replica, event.at_s)
+                    scheduler.crash(event.replica, event.at_s)
+                    monitor.record_crash(event.replica, event.at_s)
+            elif isinstance(event, ReplicaRecovery):
+                scheduler.recover(event.replica, event.at_s)
+                monitor.record_recovery(event.replica, event.at_s)
+            elif isinstance(event, ReplicaSlowdown):
+                replica = scheduler.by_name(event.replica)
+                if replica.healthy:
+                    replica.slow_factor = event.factor
+                    monitor.record_slowdown(event.replica, event.at_s)
+            elif isinstance(event, TPEFault):
+                if event.stuck:
+                    coords = masked.setdefault(event.replica, set())
+                    coords.add(event.coord)
+                    replica = scheduler.by_name(event.replica)
+                    try:
+                        replica.degrade_factor = (
+                            self.service.degrade_slowdown(
+                                frozenset(coords),
+                                self.batch_policy.max_batch,
+                            )
+                        )
+                    except (FaultError, ScheduleError):
+                        # No healthy (schedulable) sub-grid left: the
+                        # overlay is gone.
+                        if replica.healthy:
+                            abort_inflight(event.replica, event.at_s)
+                            scheduler.crash(event.replica, event.at_s)
+                            monitor.record_crash(event.replica, event.at_s)
+                else:
+                    abort_inflight(event.replica, event.at_s)
+            elif isinstance(event, DramBitFlip):
+                if not event.correctable:
+                    abort_inflight(event.replica, event.at_s)
+            elif isinstance(event, LinkFault):
+                abort_inflight(event.replica, event.at_s)
+            admission.fault_pressure = (
+                scheduler.n_healthy < len(scheduler.replicas)
+            )
+
+        while (arrival_idx < len(requests) or retryq or len(batcher)
+               or inflight_seqs):
+            # Apply fault events due at the current instant first: a
+            # crash at t must not receive work dispatched at t.
+            while fault_idx < len(faults) and faults[fault_idx].at_s <= now:
+                apply_fault(faults[fault_idx])
+                fault_idx += 1
+
+            # Requeue retries that have served their backoff.
+            while retryq and retryq[0][0] <= now:
+                _, _, request = heapq.heappop(retryq)
+                batcher.push(request)
+                depth_max = max(depth_max, batcher.depth)
+
+            # Admit every arrival due at the current instant, so a burst
+            # landing at one timestamp batches together.
             while (arrival_idx < len(requests)
                    and requests[arrival_idx].arrival_s <= now):
                 request = requests[arrival_idx]
@@ -82,6 +240,10 @@ class ServingEngine:
                 if admission.admit(batcher.depth):
                     batcher.push(request)
                     depth_max = max(depth_max, batcher.depth)
+
+            # Shed queued requests whose deadline has already passed.
+            for request in batcher.expire(now):
+                drop(request, DROP_DEADLINE)
 
             # Launch batches while a replica is free and the policy fires.
             while True:
@@ -99,7 +261,9 @@ class ServingEngine:
                     req.dispatch_s = now
                     req.batch_size = batch.size
                     req.replica = dispatch.replica
+                    req.attempts += 1
                 seq += 1
+                inflight_seqs[seq] = dispatch
                 heapq.heappush(
                     inflight, (dispatch.complete_s, seq, dispatch)
                 )
@@ -108,15 +272,33 @@ class ServingEngine:
             candidates = []
             if arrival_idx < len(requests):
                 candidates.append(requests[arrival_idx].arrival_s)
-            if inflight:
+            if retryq:
+                candidates.append(retryq[0][0])
+            if inflight_seqs:
                 candidates.append(inflight[0][0])
+            if fault_idx < len(faults):
+                candidates.append(faults[fault_idx].at_s)
             if len(batcher):
                 # A queued batch can next launch at its formation
-                # deadline or when a replica frees, whichever is later.
-                candidates.append(
-                    max(batcher.next_deadline(), scheduler.next_free_s())
-                )
+                # deadline or when a replica frees, whichever is later —
+                # provided any healthy replica exists; it can also shed
+                # work at the earliest queued deadline.
+                next_free = scheduler.next_free_s()
+                if math.isfinite(next_free):
+                    candidates.append(
+                        max(batcher.next_deadline(), next_free)
+                    )
+                expiry = batcher.next_expiry_s()
+                if math.isfinite(expiry):
+                    candidates.append(expiry)
             if not candidates:
+                # No replica will ever free and no event is pending:
+                # strand-drop whatever is still queued or backing off.
+                for request in batcher.pop_all():
+                    drop(request, DROP_NO_REPLICA)
+                while retryq:
+                    _, _, request = heapq.heappop(retryq)
+                    drop(request, DROP_NO_REPLICA)
                 break
             next_t = max(min(candidates), now)
             depth_integral += batcher.depth * (next_t - now)
@@ -124,7 +306,11 @@ class ServingEngine:
 
             # Retire completions due at the new instant.
             while inflight and inflight[0][0] <= now:
-                done_s, _, dispatch = heapq.heappop(inflight)
+                done_s, seq_id, dispatch = heapq.heappop(inflight)
+                if seq_id in aborted:
+                    aborted.discard(seq_id)
+                    continue
+                del inflight_seqs[seq_id]
                 for req in dispatch.batch.requests:
                     req.complete_s = done_s
                     completed.append(req)
@@ -144,4 +330,11 @@ class ServingEngine:
             utilization=scheduler.utilization(makespan),
             degraded_dispatches=admission.degraded_dispatches,
             cache_stats=self.service.cache_stats(),
+            dropped=tuple(dropped),
+            n_retries=n_retries,
+            fault_counts=dict(sorted(fault_counts.items())),
+            health=(
+                monitor.finalize(t_last_complete, t_start)
+                if monitor is not None else None
+            ),
         )

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.cache import CacheStats
 from repro.errors import ServingError
+from repro.faults.monitor import HealthReport
 from repro.serving.request import InferenceRequest
 
 
@@ -43,6 +44,13 @@ class ServingReport:
         degraded_dispatches: Batches launched under the degraded
             (formation-wait waived) admission regime.
         cache_stats: Schedule-cache counters accumulated by the run.
+        dropped: Requests dropped in flight or in queue (expired
+            deadline, exhausted retries, no healthy replica), each
+            carrying its ``drop_reason``.
+        n_retries: Retry dispatches performed after faults.
+        fault_counts: Injected fault events by kind (empty when the run
+            had no fault schedule).
+        health: Replica health summary (None when no fault schedule).
     """
 
     model: str
@@ -55,6 +63,10 @@ class ServingReport:
     utilization: dict[str, float] = field(default_factory=dict)
     degraded_dispatches: int = 0
     cache_stats: CacheStats | None = None
+    dropped: tuple[InferenceRequest, ...] = ()
+    n_retries: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    health: HealthReport | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -62,8 +74,32 @@ class ServingReport:
         return len(self.completed)
 
     @property
+    def n_dropped(self) -> int:
+        return len(self.dropped)
+
+    @property
     def n_offered(self) -> int:
-        return self.n_completed + self.n_rejected
+        return self.n_completed + self.n_rejected + self.n_dropped
+
+    @property
+    def drop_reasons(self) -> dict[str, int]:
+        """Drop count per reason, sorted by reason."""
+        reasons: dict[str, int] = {}
+        for request in self.dropped:
+            key = request.drop_reason or "unknown"
+            reasons[key] = reasons.get(key, 0) + 1
+        return dict(sorted(reasons.items()))
+
+    @property
+    def drop_rate(self) -> float:
+        return self.n_dropped / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Share of offered requests that completed (request-level)."""
+        if not self.n_offered:
+            return 1.0
+        return self.n_completed / self.n_offered
 
     @property
     def throughput_rps(self) -> float:
@@ -115,9 +151,9 @@ class ServingReport:
 
     @property
     def slo_violations(self) -> int:
-        """Completed requests over the SLO plus every rejection."""
+        """Completed requests over the SLO plus every rejection and drop."""
         late = sum(1 for lat in self.latencies_s if lat > self.slo_s)
-        return late + self.n_rejected
+        return late + self.n_rejected + self.n_dropped
 
     @property
     def slo_violation_rate(self) -> float:
@@ -159,6 +195,25 @@ class ServingReport:
             f"{self.slo_violations} violations "
             f"({self.slo_violation_rate:.2%} of offered)"
         )
+        if self.dropped or self.fault_counts or self.health is not None:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in self.drop_reasons.items()
+            )
+            lines.append(
+                f"  availability   : {self.availability:.2%} "
+                f"({self.n_dropped} dropped"
+                + (f": {reasons}" if reasons else "")
+                + f", {self.n_retries} retries)"
+            )
+            if self.fault_counts:
+                injected = ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.fault_counts.items())
+                )
+                lines.append(f"  faults         : {injected}")
+            if self.health is not None:
+                lines.append(f"  health         : {self.health.describe()}")
         for name, util in self.utilization.items():
             lines.append(f"  util {name:14s}: {util:7.1%}")
         if self.cache_stats is not None:

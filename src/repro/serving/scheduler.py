@@ -20,11 +20,15 @@ that frees earliest.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
+from typing import Collection
 
 from repro.analysis.partition import plan_deployment
 from repro.compiler.cache import CacheStats, ScheduleCache
-from repro.errors import ServingError
+from repro.errors import FaultError, ServingError
+from repro.faults.events import TpeCoord
+from repro.faults.mask import FaultMask, largest_healthy_subgrid
 from repro.overlay.config import OverlayConfig
 from repro.serving.batcher import Batch, BatchServiceModel
 from repro.workloads.network import Network
@@ -38,6 +42,7 @@ class ReplicaService:
             raise ServingError(f"need >= 1 replica, got {n_replicas}")
         self.model = model
         self.n_replicas = n_replicas
+        self._degraded: dict[tuple[int, int, int], BatchServiceModel] = {}
 
     def latency_s(self, batch_size: int) -> float:
         return self.model.service_s(batch_size)
@@ -50,6 +55,33 @@ class ReplicaService:
 
     def replica_names(self) -> list[str]:
         return [f"overlay{i}" for i in range(self.n_replicas)]
+
+    def degrade_slowdown(
+        self, masked: Collection[TpeCoord], batch_size: int
+    ) -> float:
+        """Service-time inflation of running on the largest healthy
+        sub-grid that avoids ``masked`` TPEs, at ``batch_size``.
+
+        The degraded grid's :class:`BatchServiceModel` is compiled once
+        per distinct sub-grid shape and memoized; the returned factor
+        multiplies the healthy service time (1.0 = no masked TPEs).
+
+        Raises:
+            FaultError: if no healthy sub-grid remains.
+        """
+        if not masked:
+            return 1.0
+        config = largest_healthy_subgrid(
+            self.model.config, FaultMask.from_coords(masked)
+        )
+        if config.grid == self.model.config.grid:
+            return 1.0
+        if config.grid not in self._degraded:
+            self._degraded[config.grid] = BatchServiceModel(
+                self.model.network, config
+            )
+        degraded_s = self._degraded[config.grid].service_s(batch_size)
+        return max(1.0, degraded_s / self.model.service_s(batch_size))
 
 
 class PipelineService:
@@ -120,16 +152,64 @@ class PipelineService:
             f"pipeline{i}x{self.n_devices}" for i in range(self.n_replicas)
         ]
 
+    def degrade_slowdown(
+        self, masked: Collection[TpeCoord], batch_size: int
+    ) -> float:
+        """Pipeline service inflation under a per-device TPE mask.
+
+        Approximation: the mask is applied to every stage's grid (the
+        stages share the replica's physical overlay shape) and the
+        inflation of the *bottleneck* stage is returned, since the
+        initiation interval gates pipeline throughput.
+
+        Raises:
+            FaultError: if no healthy sub-grid remains.
+        """
+        if not masked:
+            return 1.0
+        worst = 1.0
+        for stage in self._stages:
+            config = largest_healthy_subgrid(
+                stage.config, FaultMask.from_coords(masked)
+            )
+            if config.grid == stage.config.grid:
+                continue
+            degraded = BatchServiceModel(stage.network, config)
+            worst = max(
+                worst, degraded.service_s(batch_size)
+                / stage.service_s(batch_size)
+            )
+        return worst
+
 
 @dataclass
 class ReplicaState:
-    """Dispatch bookkeeping for one replica."""
+    """Dispatch and health bookkeeping for one replica.
+
+    Attributes:
+        healthy: False while crashed; the scheduler never places work
+            on an unhealthy replica.
+        slow_factor: Service-time multiplier from throttling faults
+            (1.0 = full speed); cleared on recovery.
+        degrade_factor: Service-time multiplier from running on a
+            masked (degraded) sub-grid; permanent for the run.
+    """
 
     name: str
     free_at_s: float = 0.0
     busy_s: float = 0.0
     batches: int = 0
     requests: int = 0
+    healthy: bool = True
+    slow_factor: float = 1.0
+    degrade_factor: float = 1.0
+    crashes: int = 0
+    aborted_batches: int = 0
+
+    @property
+    def service_factor(self) -> float:
+        """Combined service-time inflation for new dispatches."""
+        return self.slow_factor * self.degrade_factor
 
 
 @dataclass(frozen=True)
@@ -143,33 +223,76 @@ class Dispatch:
 
 
 class DispatchScheduler:
-    """Earliest-free placement of batches onto replicas."""
+    """Earliest-free placement of batches onto *healthy* replicas."""
 
     def __init__(self, service: ReplicaService | PipelineService):
         self.service = service
         self.replicas = [
             ReplicaState(name=name) for name in service.replica_names()
         ]
+        self._by_name = {r.name: r for r in self.replicas}
+
+    def by_name(self, name: str) -> ReplicaState:
+        """Look up one replica's state.
+
+        Raises:
+            FaultError: for an unknown replica name.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FaultError("unknown replica", replica=name) from None
+
+    @property
+    def n_healthy(self) -> int:
+        return sum(1 for r in self.replicas if r.healthy)
 
     def free_replica(self, now_s: float) -> ReplicaState | None:
-        """The free replica with the lowest index, or None if all busy."""
+        """The free healthy replica with the lowest index, or None."""
         for replica in self.replicas:
-            if replica.free_at_s <= now_s:
+            if replica.healthy and replica.free_at_s <= now_s:
                 return replica
         return None
 
     def next_free_s(self) -> float:
-        return min(r.free_at_s for r in self.replicas)
+        """Earliest instant a healthy replica frees (inf if none up)."""
+        return min(
+            (r.free_at_s for r in self.replicas if r.healthy),
+            default=math.inf,
+        )
+
+    def crash(self, name: str, now_s: float) -> ReplicaState:
+        """Mark ``name`` crashed; rolls back its unfinished busy time."""
+        replica = self.by_name(name)
+        if replica.healthy:
+            replica.healthy = False
+            replica.crashes += 1
+            if replica.free_at_s > now_s:
+                replica.busy_s -= replica.free_at_s - now_s
+                replica.free_at_s = now_s
+        return replica
+
+    def recover(self, name: str, now_s: float) -> ReplicaState:
+        """Return ``name`` to healthy full-speed service at ``now_s``."""
+        replica = self.by_name(name)
+        if not replica.healthy:
+            replica.healthy = True
+            replica.free_at_s = max(replica.free_at_s, now_s)
+        replica.slow_factor = 1.0
+        return replica
 
     def dispatch(self, replica: ReplicaState, batch: Batch,
                  now_s: float) -> Dispatch:
         """Place ``batch`` on ``replica`` starting at ``now_s``."""
+        if not replica.healthy:
+            raise ServingError(f"replica {replica.name} is down")
         if replica.free_at_s > now_s:
             raise ServingError(
                 f"replica {replica.name} busy until {replica.free_at_s:.6f}"
             )
-        occupancy = self.service.occupancy_s(batch.size)
-        latency = self.service.latency_s(batch.size)
+        factor = replica.service_factor
+        occupancy = self.service.occupancy_s(batch.size) * factor
+        latency = self.service.latency_s(batch.size) * factor
         replica.free_at_s = now_s + occupancy
         replica.busy_s += occupancy
         replica.batches += 1

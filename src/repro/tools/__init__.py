@@ -11,4 +11,7 @@
   report.
 * ``python -m repro.tools.serve`` — simulated inference serving with
   dynamic batching, replica/pipeline dispatch, and latency SLO metrics.
+* ``python -m repro.tools.chaos`` — chaos harness: replay a seeded fault
+  schedule through the serving engine and report availability, MTTR, and
+  throughput-vs-masked-TPE degradation curves.
 """

@@ -1,0 +1,138 @@
+"""Fault-aware compilation and replica health accounting."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FaultMask,
+    HealthMonitor,
+    degraded_compile,
+)
+from repro.workloads.layers import MatMulLayer
+from repro.workloads.network import Network
+
+
+@pytest.fixture
+def net():
+    return Network(
+        name="mmnet", application="test",
+        layers=(
+            MatMulLayer("fc1", in_features=48, out_features=24),
+            MatMulLayer("fc2", in_features=24, out_features=8),
+        ),
+    )
+
+
+class TestDegradedCompile:
+    def test_empty_mask_is_identity(self, net, tiny_config):
+        report = degraded_compile(net, tiny_config, FaultMask())
+        assert report.degraded == tiny_config
+        assert report.slowdown == 1.0
+        assert report.throughput_factor == 1.0
+        assert report.efficiency_delta == 0.0
+
+    def test_masked_grid_slows_down(self, net, tiny_config):
+        report = degraded_compile(
+            net, tiny_config, FaultMask.from_coords([(0, 0, 0)])
+        )
+        assert report.degraded.n_tpe == 8
+        assert report.n_masked == 1
+        assert report.degraded_cycles >= report.healthy_cycles
+        assert report.slowdown >= 1.0
+        assert 0.0 < report.throughput_factor <= 1.0
+
+    def test_graceful_not_cliff(self, net, small_config):
+        """Losing 1/48 tiles must not cost more than the lost sub-grid
+        share: throughput retention >= TPE retention."""
+        report = degraded_compile(
+            net, small_config, FaultMask.from_coords([(0, 0, 0)])
+        )
+        assert report.tpe_fraction_kept >= 0.75
+        assert report.throughput_factor >= report.tpe_fraction_kept * 0.9
+
+    def test_report_identities(self, net, tiny_config):
+        report = degraded_compile(
+            net, tiny_config, FaultMask.from_coords([(0, 0, 0), (1, 1, 2)])
+        )
+        assert report.masked_fraction == pytest.approx(2 / 12)
+        assert report.slowdown * report.throughput_factor == \
+            pytest.approx(1.0)
+        assert report.healthy_efficiency == pytest.approx(
+            report.total_maccs
+            / (report.healthy_cycles * tiny_config.n_tpe)
+        )
+
+    def test_describe_mentions_grids(self, net, tiny_config):
+        report = degraded_compile(
+            net, tiny_config, FaultMask.from_coords([(0, 0, 0)])
+        )
+        text = report.describe()
+        assert "3x2x2" in text
+        assert "mmnet" in text
+
+    def test_deterministic(self, net, tiny_config):
+        mask = FaultMask.from_coords([(0, 1, 1)])
+        a = degraded_compile(net, tiny_config, mask)
+        b = degraded_compile(net, tiny_config, mask)
+        assert a == b
+
+
+class TestHealthMonitor:
+    def test_mttr_over_completed_intervals(self):
+        mon = HealthMonitor(["a", "b"])
+        mon.record_crash("a", 1.0)
+        mon.record_recovery("a", 1.5)
+        mon.record_crash("b", 2.0)
+        mon.record_recovery("b", 2.1)
+        report = mon.finalize(end_s=3.0)
+        assert report.mttr_s == pytest.approx(0.3)  # mean(0.5, 0.1)
+        assert report.downtime_s == pytest.approx(0.6)
+        assert report.crashes == 2
+        assert report.recoveries == 2
+
+    def test_unrecovered_crash_counts_to_end(self):
+        mon = HealthMonitor(["a"])
+        mon.record_crash("a", 1.0)
+        report = mon.finalize(end_s=4.0)
+        assert report.mttr_s == 0.0  # no completed interval
+        assert report.downtime_s == pytest.approx(3.0)
+        assert report.per_replica_downtime_s["a"] == pytest.approx(3.0)
+
+    def test_uptime_fraction(self):
+        mon = HealthMonitor(["a", "b"])
+        mon.record_crash("a", 0.0)
+        mon.record_recovery("a", 1.0)
+        report = mon.finalize(end_s=2.0)
+        # 1 of 4 replica-seconds down.
+        assert report.uptime_fraction == pytest.approx(0.75)
+
+    def test_double_crash_idempotent(self):
+        mon = HealthMonitor(["a"])
+        mon.record_crash("a", 1.0)
+        mon.record_crash("a", 1.2)  # already down: ignored
+        assert mon.crashes == 1
+        mon.record_recovery("a", 2.0)
+        assert mon.finalize(3.0).mttr_s == pytest.approx(1.0)
+
+    def test_is_down_tracks_state(self):
+        mon = HealthMonitor(["a"])
+        assert not mon.is_down("a")
+        mon.record_crash("a", 0.5)
+        assert mon.is_down("a")
+        mon.record_recovery("a", 1.0)
+        assert not mon.is_down("a")
+
+    def test_unknown_replica_rejected(self):
+        mon = HealthMonitor(["a"])
+        with pytest.raises(FaultError):
+            mon.record_crash("nope", 0.0)
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(FaultError):
+            HealthMonitor([])
+
+    def test_start_anchors_span(self):
+        mon = HealthMonitor(["a"])
+        report = mon.finalize(end_s=5.0, start_s=2.0)
+        assert report.span_s == pytest.approx(3.0)
+        assert report.uptime_fraction == 1.0

@@ -1,0 +1,139 @@
+"""Fault masks and the largest-healthy-sub-grid derivation."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FaultMask,
+    TPEFault,
+    largest_healthy_subgrid,
+    random_tpe_mask,
+)
+from repro.overlay.config import PAPER_EXAMPLE_CONFIG, OverlayConfig
+
+
+class TestFaultMask:
+    def test_from_coords_dedupes(self):
+        mask = FaultMask.from_coords([(0, 0, 0), (0, 0, 0), (1, 0, 0)])
+        assert len(mask) == 2
+
+    def test_from_faults_keeps_only_stuck(self):
+        faults = [
+            TPEFault(0.0, "r", 0, 0, 0, stuck=True),
+            TPEFault(0.0, "r", 0, 0, 1, stuck=False),
+        ]
+        mask = FaultMask.from_faults(faults)
+        assert mask.masked == {(0, 0, 0)}
+
+    def test_add_is_persistent(self):
+        mask = FaultMask()
+        grown = mask.add((1, 1, 1))
+        assert not mask
+        assert grown.masked == {(1, 1, 1)}
+
+    def test_fraction(self, tiny_config):
+        mask = FaultMask.from_coords([(0, 0, 0)])
+        assert mask.fraction(tiny_config) == pytest.approx(1 / 12)
+
+    def test_validate_rejects_out_of_range(self, tiny_config):
+        # tiny_config is 3x2x2: chain_pos must be < 3, sb_row < 2.
+        with pytest.raises(FaultError):
+            FaultMask.from_coords([(2, 0, 0)]).validate(tiny_config)
+        with pytest.raises(FaultError):
+            FaultMask.from_coords([(0, 0, 3)]).validate(tiny_config)
+
+
+class TestLargestHealthySubgrid:
+    def test_empty_mask_returns_config(self, tiny_config):
+        assert largest_healthy_subgrid(tiny_config, FaultMask()) is \
+            tiny_config
+
+    def test_single_tile_shortens_chain_or_drops_sb(self, tiny_config):
+        sub = largest_healthy_subgrid(
+            tiny_config, FaultMask.from_coords([(0, 0, 0)])
+        )
+        # 12-TPE grid loses one tile; the best sub-grid keeps 8
+        # (either 2x2x2 by shortening every chain, or 3 long chains).
+        assert sub.n_tpe == 8
+
+    def test_clustered_row_faults_cost_exactly_the_rows(self):
+        """Masking 2 full SB rows of the paper grid (120 TPEs = 10%)
+        keeps the other 18 rows entirely: 12x5x18."""
+        config = PAPER_EXAMPLE_CONFIG
+        coords = [
+            (row, col, pos)
+            for row in (18, 19)
+            for col in range(config.d2)
+            for pos in range(config.d1)
+        ]
+        assert len(coords) == round(0.10 * config.n_tpe)
+        sub = largest_healthy_subgrid(config, FaultMask.from_coords(coords))
+        assert sub.grid == (12, 5, 18)
+        assert sub.n_tpe / config.n_tpe == pytest.approx(0.9)
+
+    def test_dead_column_drops_d2(self):
+        """A dead SuperBlock column (bad DSP column) costs one of D2."""
+        config = OverlayConfig(d1=4, d2=3, d3=4)
+        coords = [
+            (row, 1, pos)
+            for row in range(config.d3)
+            for pos in range(config.d1)
+        ]
+        sub = largest_healthy_subgrid(config, FaultMask.from_coords(coords))
+        assert sub.grid == (4, 2, 4)
+
+    def test_scattered_faults_keep_majority(self):
+        """Scattered single-tile faults must not cliff the grid."""
+        config = PAPER_EXAMPLE_CONFIG
+        mask = random_tpe_mask(config, 0.05, seed=1)
+        sub = largest_healthy_subgrid(config, mask)
+        assert sub.n_tpe >= 0.5 * config.n_tpe
+
+    def test_non_config_attributes_preserved(self, tiny_config):
+        sub = largest_healthy_subgrid(
+            tiny_config, FaultMask.from_coords([(0, 0, 0)])
+        )
+        assert sub.s_actbuf_words == tiny_config.s_actbuf_words
+        assert sub.clk_h_mhz == tiny_config.clk_h_mhz
+
+    def test_everything_masked_raises(self):
+        config = OverlayConfig(d1=2, d2=1, d3=1)
+        coords = [(0, 0, 0), (0, 0, 1)]
+        with pytest.raises(FaultError):
+            largest_healthy_subgrid(config, FaultMask.from_coords(coords))
+
+    def test_accepts_plain_collection(self, tiny_config):
+        sub = largest_healthy_subgrid(tiny_config, {(0, 0, 0)})
+        assert sub.n_tpe == 8
+
+    def test_deterministic(self):
+        config = PAPER_EXAMPLE_CONFIG
+        mask = random_tpe_mask(config, 0.1, seed=9)
+        assert largest_healthy_subgrid(config, mask) == \
+            largest_healthy_subgrid(config, mask)
+
+
+class TestRandomTpeMask:
+    def test_fraction_and_bounds(self):
+        config = PAPER_EXAMPLE_CONFIG
+        mask = random_tpe_mask(config, 0.1, seed=0)
+        assert len(mask) == 120
+        for row, col, pos in mask:
+            assert 0 <= row < config.d3
+            assert 0 <= col < config.d2
+            assert 0 <= pos < config.d1
+
+    def test_deterministic_per_seed(self):
+        config = PAPER_EXAMPLE_CONFIG
+        assert random_tpe_mask(config, 0.2, seed=4) == \
+            random_tpe_mask(config, 0.2, seed=4)
+        assert random_tpe_mask(config, 0.2, seed=4) != \
+            random_tpe_mask(config, 0.2, seed=5)
+
+    def test_zero_fraction_empty(self, tiny_config):
+        assert random_tpe_mask(tiny_config, 0.0, seed=0) == frozenset()
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.0, 1.5])
+    def test_invalid_fraction(self, tiny_config, fraction):
+        with pytest.raises(FaultError):
+            random_tpe_mask(tiny_config, fraction, seed=0)

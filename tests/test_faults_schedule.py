@@ -1,0 +1,202 @@
+"""Fault events, schedules, and the structured fault errors."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError, FTDLError, RetryExhaustedError, ServingError
+from repro.faults import (
+    DramBitFlip,
+    FaultSchedule,
+    LinkFault,
+    ReplicaCrash,
+    ReplicaRecovery,
+    ReplicaSlowdown,
+    TPEFault,
+    generate_fault_schedule,
+)
+from repro.overlay.config import OverlayConfig
+
+
+class TestFaultErrors:
+    def test_fault_error_hierarchy(self):
+        assert issubclass(FaultError, FTDLError)
+        assert issubclass(RetryExhaustedError, FaultError)
+
+    def test_fault_error_context_appended(self):
+        err = FaultError("tile died", replica="overlay1", at_s=0.125)
+        assert err.replica == "overlay1"
+        assert err.at_s == 0.125
+        assert "overlay1" in str(err)
+        assert "0.125" in str(err)
+
+    def test_fault_error_context_optional(self):
+        err = FaultError("generic")
+        assert err.replica is None
+        assert err.at_s is None
+        assert str(err) == "generic"
+
+    def test_retry_exhausted_carries_request(self):
+        err = RetryExhaustedError(
+            "gave up", request_id=42, attempts=3, replica="overlay0"
+        )
+        assert err.request_id == 42
+        assert err.attempts == 3
+        assert isinstance(err, FaultError)
+
+    def test_fault_error_distinct_from_serving_error(self):
+        # The serving engine distinguishes fault-path failures from
+        # plain configuration errors.
+        assert not issubclass(FaultError, ServingError)
+
+
+class TestFaultEvents:
+    def test_kinds(self):
+        assert TPEFault(0.0, "r", 0, 0, 0, stuck=True).kind == "tpe_stuck"
+        assert TPEFault(0.0, "r", 0, 0, 0, stuck=False).kind == "tpe_transient"
+        assert DramBitFlip(0.0, "r", correctable=True).kind == "dram_ecc"
+        assert DramBitFlip(0.0, "r", correctable=False).kind == \
+            "dram_uncorrectable"
+        assert LinkFault(0.0, "r").kind == "link"
+        assert ReplicaCrash(0.0, "r").kind == "crash"
+        assert ReplicaSlowdown(0.0, "r").kind == "slowdown"
+        assert ReplicaRecovery(0.0, "r").kind == "recovery"
+
+    def test_tpe_coord(self):
+        fault = TPEFault(1.0, "r", sb_row=3, sb_col=1, chain_pos=2)
+        assert fault.coord == (3, 1, 2)
+
+    @pytest.mark.parametrize("at_s", [-1.0, math.nan, math.inf])
+    def test_invalid_timestamp(self, at_s):
+        with pytest.raises(FaultError):
+            ReplicaCrash(at_s, "r")
+
+    def test_empty_replica_rejected(self):
+        with pytest.raises(FaultError):
+            ReplicaCrash(0.0, "")
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(FaultError):
+            TPEFault(0.0, "r", sb_row=-1, sb_col=0, chain_pos=0)
+
+    @pytest.mark.parametrize("factor", [0.5, 0.0, math.nan])
+    def test_slowdown_factor_validated(self, factor):
+        with pytest.raises(FaultError):
+            ReplicaSlowdown(0.0, "r", factor=factor)
+
+    def test_events_frozen(self):
+        crash = ReplicaCrash(0.0, "r")
+        with pytest.raises(Exception):
+            crash.at_s = 1.0  # type: ignore[misc]
+
+
+class TestFaultSchedule:
+    def test_from_events_sorts(self):
+        sched = FaultSchedule.from_events([
+            ReplicaRecovery(2.0, "a"),
+            ReplicaCrash(1.0, "a"),
+            LinkFault(1.5, "b"),
+        ])
+        assert [e.at_s for e in sched.events] == [1.0, 1.5, 2.0]
+
+    def test_unsorted_constructor_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSchedule(events=(
+                ReplicaCrash(2.0, "a"), ReplicaCrash(1.0, "a"),
+            ))
+
+    def test_for_replica_filters(self):
+        sched = FaultSchedule.from_events([
+            ReplicaCrash(1.0, "a"),
+            ReplicaCrash(2.0, "b"),
+            ReplicaRecovery(3.0, "a"),
+        ])
+        sub = sched.for_replica("a")
+        assert len(sub) == 2
+        assert all(e.replica == "a" for e in sub.events)
+
+    def test_counts_and_describe(self):
+        sched = FaultSchedule.from_events([
+            ReplicaCrash(1.0, "a"),
+            ReplicaCrash(2.0, "b"),
+            LinkFault(3.0, "a"),
+        ])
+        assert sched.counts() == {"crash": 2, "link": 1}
+        assert "crash=2" in sched.describe()
+
+    def test_empty_schedule_ok(self):
+        sched = FaultSchedule(events=())
+        assert len(sched) == 0
+        assert "none" in sched.describe()
+
+
+class TestGenerateFaultSchedule:
+    KW = dict(duration_s=1.0, replicas=["r0", "r1"],
+              crash_rate_hz=5.0, slowdown_rate_hz=2.0,
+              bitflip_rate_hz=10.0, link_fault_rate_hz=1.0)
+
+    def test_identical_seed_bit_identical(self):
+        a = generate_fault_schedule(seed=3, **self.KW)
+        b = generate_fault_schedule(seed=3, **self.KW)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = generate_fault_schedule(seed=3, **self.KW)
+        b = generate_fault_schedule(seed=4, **self.KW)
+        assert a != b
+
+    def test_crashes_paired_with_recoveries(self):
+        sched = generate_fault_schedule(
+            seed=0, duration_s=2.0, replicas=["r0"], crash_rate_hz=10.0
+        )
+        counts = sched.counts()
+        assert counts.get("crash", 0) > 0
+        assert counts["recovery"] == counts["crash"]
+
+    def test_tpe_faults_respect_grid(self):
+        config = OverlayConfig(d1=3, d2=2, d3=2)
+        sched = generate_fault_schedule(
+            seed=1, duration_s=2.0, replicas=["r0"], grid=config,
+            tpe_fault_rate_hz=20.0,
+        )
+        tpe = [e for e in sched.events if isinstance(e, TPEFault)]
+        assert tpe
+        for fault in tpe:
+            row, col, pos = fault.coord
+            assert 0 <= row < config.d3
+            assert 0 <= col < config.d2
+            assert 0 <= pos < config.d1
+
+    def test_tpe_rate_without_grid_rejected(self):
+        with pytest.raises(FaultError):
+            generate_fault_schedule(
+                seed=0, duration_s=1.0, replicas=["r"],
+                tpe_fault_rate_hz=1.0,
+            )
+
+    def test_zero_rates_yield_empty_schedule(self):
+        sched = generate_fault_schedule(
+            seed=0, duration_s=1.0, replicas=["r"]
+        )
+        assert len(sched) == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(duration_s=0.0, replicas=["r"]),
+        dict(duration_s=math.nan, replicas=["r"]),
+        dict(duration_s=1.0, replicas=[]),
+        dict(duration_s=1.0, replicas=["r", "r"]),
+        dict(duration_s=1.0, replicas=["r"], crash_rate_hz=-1.0),
+        dict(duration_s=1.0, replicas=["r"], crash_rate_hz=math.nan),
+        dict(duration_s=1.0, replicas=["r"], stuck_fraction=1.5),
+        dict(duration_s=1.0, replicas=["r"], correctable_fraction=-0.1),
+    ])
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(FaultError):
+            generate_fault_schedule(seed=0, **kwargs)
+
+    def test_grid_accepts_plain_tuple(self):
+        sched = generate_fault_schedule(
+            seed=5, duration_s=1.0, replicas=["r"], grid=(3, 2, 2),
+            tpe_fault_rate_hz=10.0,
+        )
+        assert any(isinstance(e, TPEFault) for e in sched.events)

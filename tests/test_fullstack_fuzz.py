@@ -84,6 +84,82 @@ def test_fuzz_mm_fullstack(layer, config, seed):
     _run_fullstack(layer, config, seed)
 
 
+fault_knobs_strategy = st.fixed_dictionaries({
+    "crash_rate_hz": st.sampled_from([0.0, 10.0, 40.0]),
+    "slowdown_rate_hz": st.sampled_from([0.0, 10.0]),
+    "tpe_fault_rate_hz": st.sampled_from([0.0, 10.0]),
+    "bitflip_rate_hz": st.sampled_from([0.0, 30.0]),
+    "link_fault_rate_hz": st.sampled_from([0.0, 10.0]),
+})
+
+
+@_SETTINGS
+@given(
+    knobs=fault_knobs_strategy,
+    seed=st.integers(0, 999),
+    n_replicas=st.integers(1, 3),
+    deadline_ms=st.sampled_from([None, 10.0, 50.0]),
+)
+def test_fuzz_fault_schedule_serving(knobs, seed, n_replicas, deadline_ms):
+    """Any seeded fault schedule must leave the serving engine with
+    conserved request accounting, bounded rates, and bit-identical
+    reruns."""
+    from repro.faults import generate_fault_schedule
+    from repro.overlay.config import OverlayConfig
+    from repro.serving import (
+        AdmissionPolicy,
+        BatchPolicy,
+        RetryPolicy,
+        ServingEngine,
+        make_requests,
+        uniform_arrivals,
+    )
+    from tests.test_serving_faults import StubService
+
+    grid = OverlayConfig(d1=3, d2=2, d3=2)
+    service = StubService(n_replicas=n_replicas, service_s=1e-3)
+    faults = generate_fault_schedule(
+        seed=seed, duration_s=0.05, replicas=service.replica_names(),
+        grid=grid, mean_repair_s=0.005, **knobs,
+    )
+
+    def run():
+        engine = ServingEngine(
+            StubService(n_replicas=n_replicas, service_s=1e-3),
+            batch_policy=BatchPolicy(max_batch=4, max_wait_s=1e-3),
+            admission_policy=AdmissionPolicy(capacity=32),
+            fault_schedule=faults,
+            retry_policy=RetryPolicy(),
+        )
+        deadline_s = deadline_ms * 1e-3 if deadline_ms else None
+        requests = make_requests(
+            uniform_arrivals(1000.0, 40), "fuzz", deadline_s=deadline_s
+        )
+        return engine.run(requests)
+
+    report = run()
+    # Conservation: every offered request is completed, dropped, or
+    # rejected — never lost.
+    assert report.n_completed + report.n_dropped + report.n_rejected == 40
+    assert report.n_offered == 40
+    assert 0.0 <= report.availability <= 1.0
+    assert 0.0 <= report.drop_rate <= 1.0
+    assert sum(report.drop_reasons.values()) == report.n_dropped
+    if report.health is not None:
+        assert 0.0 <= report.health.uptime_fraction <= 1.0
+        assert report.health.mttr_s >= 0.0
+    for req in report.completed:
+        assert req.attempts >= 1
+        if deadline_ms is not None:
+            # The dispatch (or retry) that completed the request
+            # respected its deadline.
+            assert req.dispatch_s < req.arrival_s + deadline_ms * 1e-3
+    # Identical seed + schedule => bit-identical report.
+    rerun = run()
+    assert rerun.describe() == report.describe()
+    assert rerun.latencies_s == report.latencies_s
+
+
 def test_forced_multipass_bit_exact(rng):
     """A PSumBUF too small for the output forces LoopX onto reduction
     loops (multipass accumulation with host-side adds across passes);

@@ -45,3 +45,65 @@ class TestAdmissionController:
         ctl.admit(1)
         assert ctl.offered == 2
         assert ctl.rejection_rate == pytest.approx(0.5)
+
+
+class TestAdmissionEdgeCases:
+    def test_queue_exactly_at_watermark(self):
+        """The watermark boundary itself is degraded (>=, not >)."""
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=8, degrade_watermark=0.5)
+        )
+        assert not ctl.degraded(3)
+        assert ctl.degraded(4)  # exactly 0.5 * 8
+
+    def test_fractional_watermark_threshold(self):
+        # 0.75 * 10 = 7.5: depth 7 is healthy, depth 8 is degraded.
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=10, degrade_watermark=0.75)
+        )
+        assert not ctl.degraded(7)
+        assert ctl.degraded(8)
+
+    def test_watermark_equals_capacity(self):
+        """watermark=1.0 only degrades a full queue — which admission
+        then rejects, so degradation and rejection meet at one depth."""
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=4, degrade_watermark=1.0)
+        )
+        assert not ctl.degraded(3)
+        assert ctl.degraded(4)
+        assert not ctl.admit(4)
+
+    def test_capacity_one(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=1, degrade_watermark=1.0)
+        )
+        assert ctl.admit(0)
+        assert not ctl.admit(1)
+        assert ctl.degraded(1)
+
+    def test_degradation_toggles_with_depth(self):
+        """Degradation is a pure function of depth: draining the queue
+        below the watermark restores normal batch formation."""
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=8, degrade_watermark=0.5)
+        )
+        assert not ctl.degraded(2)
+        assert ctl.degraded(6)
+        assert not ctl.degraded(2)
+        assert ctl.degraded(5)
+
+    def test_fault_pressure_overrides_watermark(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=100, degrade_watermark=0.75)
+        )
+        assert not ctl.degraded(0)
+        ctl.fault_pressure = True
+        assert ctl.degraded(0)
+        ctl.fault_pressure = False
+        assert not ctl.degraded(0)
+
+    def test_degraded_queries_do_not_count_dispatches(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=4))
+        ctl.degraded(4)
+        assert ctl.degraded_dispatches == 0

@@ -27,6 +27,15 @@ class TestBatchPolicy:
         with pytest.raises(ServingError):
             BatchPolicy(max_wait_s=-1.0)
 
+    def test_non_finite_wait_rejected(self):
+        """A NaN wait used to pass the < 0 check (NaN compares false)
+        and stall every formation deadline downstream."""
+        import math
+        with pytest.raises(ServingError):
+            BatchPolicy(max_wait_s=math.nan)
+        with pytest.raises(ServingError):
+            BatchPolicy(max_wait_s=math.inf)
+
 
 class TestBatcher:
     def test_not_ready_when_empty(self):
@@ -68,6 +77,45 @@ class TestBatcher:
             b.pop(0.0)
         with pytest.raises(ServingError):
             b.next_deadline()
+
+
+class TestBatcherExpiry:
+    def _req(self, i, t, deadline):
+        return InferenceRequest(request_id=i, model="m", arrival_s=t,
+                                deadline_s=deadline)
+
+    def test_expire_removes_only_expired(self):
+        b = Batcher(BatchPolicy(max_batch=8, max_wait_s=10.0))
+        b.push(self._req(0, 0.0, 0.5))
+        b.push(self._req(1, 0.0, 2.0))
+        expired = b.expire(1.0)
+        assert [r.request_id for r in expired] == [0]
+        assert b.depth == 1
+
+    def test_next_expiry_is_earliest_deadline(self):
+        import math
+        b = Batcher(BatchPolicy(max_batch=8, max_wait_s=10.0))
+        assert math.isinf(b.next_expiry_s())
+        b.push(self._req(0, 0.0, 2.0))
+        b.push(self._req(1, 0.0, 0.5))
+        assert b.next_expiry_s() == pytest.approx(0.5)
+
+    def test_undeadlined_requests_never_expire(self):
+        import math
+        b = Batcher(BatchPolicy(max_batch=8, max_wait_s=10.0))
+        b.push(_req(0, 0.0))
+        assert math.isinf(b.next_expiry_s())
+        assert b.expire(1e9) == []
+        assert b.depth == 1
+
+    def test_pop_all_drains(self):
+        b = Batcher(BatchPolicy(max_batch=2, max_wait_s=10.0))
+        for i in range(5):
+            b.push(_req(i, 0.0))
+        drained = b.pop_all()
+        assert [r.request_id for r in drained] == [0, 1, 2, 3, 4]
+        assert b.depth == 0
+        assert len(b) == 0
 
 
 def _mm_net() -> Network:

@@ -1,0 +1,313 @@
+"""Fault-tolerant serving: failover, retries, deadlines, degraded mode."""
+
+import math
+
+import pytest
+
+from repro.compiler.cache import CacheStats
+from repro.errors import FaultError
+from repro.faults import (
+    DramBitFlip,
+    FaultSchedule,
+    LinkFault,
+    ReplicaCrash,
+    ReplicaRecovery,
+    ReplicaSlowdown,
+    TPEFault,
+    generate_fault_schedule,
+)
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.batcher import BatchPolicy, BatchServiceModel
+from repro.serving.engine import (
+    DROP_DEADLINE,
+    DROP_NO_REPLICA,
+    DROP_RETRY_EXHAUSTED,
+    ServingEngine,
+)
+from repro.serving.request import RetryPolicy, make_requests, uniform_arrivals
+from repro.serving.scheduler import ReplicaService
+from repro.workloads.layers import MatMulLayer
+from repro.workloads.network import Network
+
+
+class StubService:
+    """Fixed service time per batch, N replicas, TPE-degradable."""
+
+    def __init__(self, n_replicas: int = 1, service_s: float = 1e-3):
+        self.n_replicas = n_replicas
+        self._service_s = service_s
+
+    def latency_s(self, batch_size: int) -> float:
+        return self._service_s
+
+    def occupancy_s(self, batch_size: int) -> float:
+        return self._service_s
+
+    def cache_stats(self) -> CacheStats:
+        return CacheStats(hits=0, misses=0, evictions=0, size=0,
+                          max_entries=None)
+
+    def replica_names(self) -> list[str]:
+        return [f"stub{i}" for i in range(self.n_replicas)]
+
+    def degrade_slowdown(self, masked, batch_size: int) -> float:
+        return 1.0 + 0.5 * len(masked)
+
+
+def _engine(service, faults=None, retry=None, **kwargs):
+    kwargs.setdefault("batch_policy", BatchPolicy(max_batch=1,
+                                                  max_wait_s=0.0))
+    return ServingEngine(
+        service,
+        fault_schedule=faults,
+        retry_policy=retry or RetryPolicy(),
+        **kwargs,
+    )
+
+
+class TestCrashFailover:
+    def _run(self, deadline_s=None):
+        faults = FaultSchedule.from_events([
+            ReplicaCrash(0.0505, "stub0"),
+            ReplicaRecovery(0.150, "stub0"),
+        ])
+        requests = make_requests(
+            uniform_arrivals(500.0, 100), "stub", deadline_s=deadline_s
+        )
+        engine = _engine(StubService(n_replicas=2), faults)
+        return engine.run(requests)
+
+    def test_failover_keeps_availability(self):
+        report = self._run()
+        assert report.availability >= 0.99
+        assert report.n_completed + report.n_dropped == 100
+        assert report.fault_counts == {"crash": 1, "recovery": 1}
+
+    def test_aborted_batch_is_retried(self):
+        report = self._run()
+        assert report.n_retries >= 1
+        retried = [r for r in report.completed if r.attempts > 1]
+        assert retried
+        # The retried work completed on the surviving replica.
+        assert all(r.replica == "stub1" for r in retried)
+
+    def test_retries_respect_deadlines(self):
+        report = self._run(deadline_s=0.050)
+        assert report.availability >= 0.99
+        for req in report.completed:
+            assert req.dispatch_s < req.arrival_s + 0.050
+        for req in report.dropped:
+            assert req.drop_reason in (DROP_DEADLINE, DROP_RETRY_EXHAUSTED)
+
+    def test_health_report_attached(self):
+        report = self._run()
+        assert report.health is not None
+        assert report.health.crashes == 1
+        assert report.health.recoveries == 1
+        assert report.health.mttr_s == pytest.approx(0.150 - 0.0505)
+        assert 0.0 < report.health.uptime_fraction < 1.0
+
+    def test_describe_shows_reliability(self):
+        text = self._run().describe()
+        assert "availability" in text
+        assert "crash=1" in text
+        assert "MTTR" in text
+
+
+class TestAllReplicasDown:
+    def test_stranded_work_dropped(self):
+        faults = FaultSchedule.from_events([ReplicaCrash(0.0005, "stub0")])
+        requests = make_requests([0.0, 0.001, 0.002], "stub")
+        report = _engine(StubService(), faults).run(requests)
+        assert report.n_completed == 0
+        assert report.n_dropped == 3
+        assert set(report.drop_reasons) <= {DROP_NO_REPLICA,
+                                            DROP_RETRY_EXHAUSTED,
+                                            DROP_DEADLINE}
+        assert report.availability == 0.0
+
+    def test_offered_conservation(self):
+        faults = FaultSchedule.from_events([ReplicaCrash(0.0005, "stub0")])
+        requests = make_requests(uniform_arrivals(1000.0, 10), "stub")
+        report = _engine(StubService(), faults,
+                         admission_policy=AdmissionPolicy(capacity=4)) \
+            .run(requests)
+        assert report.n_completed + report.n_dropped \
+            + report.n_rejected == 10
+
+
+class TestTransientFaults:
+    @pytest.mark.parametrize("event", [
+        LinkFault(0.0005, "stub0"),
+        DramBitFlip(0.0005, "stub0", correctable=False),
+        TPEFault(0.0005, "stub0", 0, 0, 0, stuck=False),
+    ])
+    def test_inflight_batch_retried(self, event):
+        faults = FaultSchedule.from_events([event])
+        report = _engine(StubService(), faults).run(
+            make_requests([0.0], "stub")
+        )
+        (req,) = report.completed
+        assert req.attempts == 2
+        assert report.n_retries == 1
+        # Retry lands after the capped-exponential backoff.
+        assert req.complete_s > 2e-3
+
+    def test_correctable_bitflip_absorbed(self):
+        faults = FaultSchedule.from_events([
+            DramBitFlip(0.0005, "stub0", correctable=True)
+        ])
+        report = _engine(StubService(), faults).run(
+            make_requests([0.0], "stub")
+        )
+        (req,) = report.completed
+        assert req.attempts == 1
+        assert report.n_retries == 0
+        assert report.fault_counts == {"dram_ecc": 1}
+
+    def test_retry_budget_exhausts(self):
+        faults = FaultSchedule.from_events([LinkFault(0.0005, "stub0")])
+        report = _engine(
+            StubService(), faults, retry=RetryPolicy(max_attempts=1)
+        ).run(make_requests([0.0], "stub"))
+        assert report.n_completed == 0
+        assert report.drop_reasons == {DROP_RETRY_EXHAUSTED: 1}
+
+
+class TestSlowdownAndDegrade:
+    def test_slowdown_inflates_service(self):
+        faults = FaultSchedule.from_events([
+            ReplicaSlowdown(0.0, "stub0", factor=3.0)
+        ])
+        report = _engine(StubService(), faults).run(
+            make_requests([0.001], "stub")
+        )
+        (req,) = report.completed
+        assert req.latency_s == pytest.approx(3e-3)
+
+    def test_recovery_clears_slowdown(self):
+        faults = FaultSchedule.from_events([
+            ReplicaSlowdown(0.0, "stub0", factor=3.0),
+            ReplicaRecovery(0.010, "stub0"),
+        ])
+        report = _engine(StubService(), faults).run(
+            make_requests([0.001, 0.020], "stub")
+        )
+        first, second = sorted(report.completed,
+                               key=lambda r: r.arrival_s)
+        assert first.latency_s == pytest.approx(3e-3)
+        assert second.latency_s == pytest.approx(1e-3)
+
+    def test_stuck_tpe_degrades_subsequent_batches(self):
+        faults = FaultSchedule.from_events([
+            TPEFault(0.010, "stub0", 0, 0, 0, stuck=True)
+        ])
+        report = _engine(StubService(), faults).run(
+            make_requests([0.001, 0.020], "stub")
+        )
+        first, second = sorted(report.completed,
+                               key=lambda r: r.arrival_s)
+        assert first.latency_s == pytest.approx(1e-3)
+        # StubService.degrade_slowdown: 1 masked tile -> 1.5x.
+        assert second.latency_s == pytest.approx(1.5e-3)
+        assert report.fault_counts == {"tpe_stuck": 1}
+
+    def test_fault_pressure_forces_degraded_dispatch(self):
+        faults = FaultSchedule.from_events([
+            ReplicaCrash(0.0, "stub1"),
+        ])
+        engine = _engine(
+            StubService(n_replicas=2), faults,
+            batch_policy=BatchPolicy(max_batch=16, max_wait_s=10.0),
+            admission_policy=AdmissionPolicy(capacity=64),
+        )
+        report = engine.run(make_requests(
+            uniform_arrivals(1000.0, 20), "stub"
+        ))
+        # Without fault pressure a 16-batch would wait out the 10 s
+        # formation window; with it the queue drains immediately.
+        assert report.degraded_dispatches > 0
+        assert report.n_completed == 20
+        assert max(r.complete_s for r in report.completed) < 1.0
+
+
+class TestDeadlines:
+    def test_expired_queue_entries_dropped(self):
+        # One replica busy for 1 s; later arrivals with 5 ms deadlines
+        # expire in the queue.
+        requests = make_requests([0.0, 0.001, 0.002], "stub",
+                                 deadline_s=0.005)
+        report = _engine(StubService(service_s=1.0)).run(requests)
+        assert report.n_completed == 1
+        assert report.drop_reasons == {DROP_DEADLINE: 2}
+        assert report.drop_rate == pytest.approx(2 / 3)
+        for req in report.dropped:
+            assert req.complete_s is None
+            assert req.drop_reason == DROP_DEADLINE
+
+    def test_slo_violations_count_drops(self):
+        requests = make_requests([0.0, 0.001], "stub", deadline_s=0.005)
+        report = _engine(StubService(service_s=1.0)).run(requests)
+        assert report.slo_violations >= report.n_dropped
+
+    def test_no_deadline_means_no_expiry(self):
+        requests = make_requests([0.0, 0.001], "stub")
+        report = _engine(StubService(service_s=0.01)).run(requests)
+        assert report.n_dropped == 0
+        assert all(math.isinf(r.deadline_at_s) for r in report.completed)
+
+
+class TestFaultRunDeterminism:
+    def _report(self, tiny_config):
+        net = Network(
+            name="mmnet", application="test",
+            layers=(MatMulLayer("fc", in_features=32, out_features=16),),
+        )
+        service = ReplicaService(BatchServiceModel(net, tiny_config), 2)
+        faults = generate_fault_schedule(
+            seed=13, duration_s=0.05, replicas=service.replica_names(),
+            grid=tiny_config, crash_rate_hz=40.0, mean_repair_s=0.005,
+            tpe_fault_rate_hz=20.0, bitflip_rate_hz=50.0,
+            link_fault_rate_hz=10.0, slowdown_rate_hz=10.0,
+        )
+        engine = ServingEngine(
+            service,
+            batch_policy=BatchPolicy(max_batch=4, max_wait_s=1e-3),
+            fault_schedule=faults,
+            retry_policy=RetryPolicy(),
+        )
+        requests = make_requests(
+            uniform_arrivals(2000.0, 80), "mmnet", deadline_s=0.050
+        )
+        return engine.run(requests)
+
+    def test_bit_identical_reports(self, tiny_config):
+        a = self._report(tiny_config)
+        b = self._report(tiny_config)
+        assert a.describe() == b.describe()
+        assert a.latencies_s == b.latencies_s
+        assert a.fault_counts == b.fault_counts
+        assert a.drop_reasons == b.drop_reasons
+
+    def test_conservation_and_bounds(self, tiny_config):
+        report = self._report(tiny_config)
+        assert report.n_completed + report.n_dropped \
+            + report.n_rejected == 80
+        assert 0.0 <= report.availability <= 1.0
+        assert 0.0 <= report.drop_rate <= 1.0
+        if report.health is not None:
+            assert 0.0 <= report.health.uptime_fraction <= 1.0
+
+
+class TestNoFaultBackCompat:
+    def test_faultless_run_has_no_fault_sections(self):
+        report = _engine(StubService()).run(make_requests([0.0], "stub"))
+        assert report.health is None
+        assert report.fault_counts == {}
+        assert report.n_retries == 0
+        assert "availability" not in report.describe()
+
+    def test_unknown_fault_replica_raises(self):
+        faults = FaultSchedule.from_events([ReplicaCrash(0.0, "ghost")])
+        with pytest.raises(FaultError):
+            _engine(StubService(), faults).run(make_requests([0.0], "s"))

@@ -1,10 +1,13 @@
 """Arrival generators and request lifecycle."""
 
+import math
+
 import pytest
 
 from repro.errors import ServingError
 from repro.serving.request import (
     InferenceRequest,
+    RetryPolicy,
     make_requests,
     poisson_arrivals,
     trace_arrivals,
@@ -46,6 +49,17 @@ class TestPoissonArrivals:
         with pytest.raises(ServingError):
             poisson_arrivals(rate, n, seed=0)
 
+    @pytest.mark.parametrize("rate", [math.nan, math.inf, -math.inf])
+    def test_non_finite_rate_rejected(self, rate):
+        """NaN compares false against everything, so a NaN rate used to
+        slip past the <= 0 check and poison every downstream gap."""
+        with pytest.raises(ServingError):
+            poisson_arrivals(rate, 10, seed=0)
+
+    def test_non_finite_start_rejected(self):
+        with pytest.raises(ServingError):
+            poisson_arrivals(100.0, 10, seed=0, start_s=math.nan)
+
 
 class TestUniformArrivals:
     def test_even_spacing(self):
@@ -56,6 +70,11 @@ class TestUniformArrivals:
     def test_invalid_rate(self):
         with pytest.raises(ServingError):
             uniform_arrivals(0.0, 5)
+
+    @pytest.mark.parametrize("rate", [math.nan, math.inf])
+    def test_non_finite_rate_rejected(self, rate):
+        with pytest.raises(ServingError):
+            uniform_arrivals(rate, 5)
 
 
 class TestTraceArrivals:
@@ -74,6 +93,11 @@ class TestTraceArrivals:
         with pytest.raises(ServingError):
             trace_arrivals([-0.1, 0.5])
 
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ServingError):
+            trace_arrivals([0.0, bad])
+
 
 class TestRequests:
     def test_make_requests_ids_dense(self):
@@ -89,3 +113,58 @@ class TestRequests:
         req.complete_s = 1.25
         assert req.queue_wait_s == pytest.approx(0.5)
         assert req.latency_s == pytest.approx(1.25)
+
+
+class TestDeadlines:
+    def test_deadline_is_relative_to_arrival(self):
+        req = InferenceRequest(request_id=0, model="m", arrival_s=2.0,
+                               deadline_s=0.5)
+        assert req.deadline_at_s == pytest.approx(2.5)
+        assert not req.expired(2.49)
+        assert req.expired(2.5)
+
+    def test_no_deadline_never_expires(self):
+        req = InferenceRequest(request_id=0, model="m", arrival_s=0.0)
+        assert math.isinf(req.deadline_at_s)
+        assert not req.expired(1e9)
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0, math.nan, math.inf])
+    def test_invalid_deadline_rejected(self, deadline):
+        with pytest.raises(ServingError):
+            InferenceRequest(request_id=0, model="m", arrival_s=0.0,
+                             deadline_s=deadline)
+
+    def test_non_finite_arrival_rejected(self):
+        with pytest.raises(ServingError):
+            InferenceRequest(request_id=0, model="m", arrival_s=math.nan)
+
+    def test_make_requests_applies_deadline(self):
+        reqs = make_requests([0.1, 0.2], "m", deadline_s=0.05)
+        assert [r.deadline_at_s for r in reqs] == \
+            [pytest.approx(0.15), pytest.approx(0.25)]
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(max_attempts=10, backoff_base_s=1e-3,
+                             backoff_cap_s=4e-3)
+        assert policy.backoff_s(1) == pytest.approx(1e-3)
+        assert policy.backoff_s(2) == pytest.approx(2e-3)
+        assert policy.backoff_s(3) == pytest.approx(4e-3)
+        assert policy.backoff_s(4) == pytest.approx(4e-3)  # capped
+        assert policy.backoff_s(20) == pytest.approx(4e-3)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_attempts=0),
+        dict(backoff_base_s=-1e-3),
+        dict(backoff_cap_s=-1.0),
+        dict(backoff_base_s=math.nan),
+        dict(backoff_cap_s=math.inf),
+    ])
+    def test_invalid_policy(self, kwargs):
+        with pytest.raises(ServingError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_needs_failed_attempt(self):
+        with pytest.raises(ServingError):
+            RetryPolicy().backoff_s(0)
