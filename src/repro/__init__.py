@@ -28,6 +28,7 @@ from repro.errors import (
     IsaError,
     PartitionError,
     ServingError,
+    TraceError,
 )
 from repro.fpga import (
     Device,
@@ -90,6 +91,12 @@ from repro.serving import (
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.trace import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_json,
+    prometheus_text,
+)
 
 __version__ = "1.0.0"
 
@@ -105,6 +112,7 @@ __all__ = [
     "IsaError",
     "PartitionError",
     "ServingError",
+    "TraceError",
     "Device",
     "get_device",
     "list_devices",
@@ -158,5 +166,9 @@ __all__ = [
     "make_requests",
     "poisson_arrivals",
     "uniform_arrivals",
+    "Tracer",
+    "MetricsRegistry",
+    "chrome_trace_json",
+    "prometheus_text",
     "__version__",
 ]

@@ -20,6 +20,8 @@ from dataclasses import dataclass, replace
 from repro.compiler.search import Schedule, ScheduleSearch
 from repro.errors import ScheduleError
 from repro.overlay.config import OverlayConfig
+from repro.trace.metrics import MetricsRegistry, as_metrics
+from repro.trace.span import Tracer, as_tracer
 from repro.workloads.layers import ConvLayer, MatMulLayer
 
 AcceleratedLayer = ConvLayer | MatMulLayer
@@ -71,6 +73,12 @@ class ScheduleCache:
         objective: Search objective forwarded to :class:`ScheduleSearch`.
         max_entries: Bound on cached distinct shapes; least-recently-used
             entries are evicted past it.  ``None`` keeps every shape.
+        tracer: Optional :class:`~repro.trace.span.Tracer`; hit/miss/
+            eviction instants land on the ``cache`` track and miss
+            compiles are forwarded to :class:`ScheduleSearch` on one
+            monotonic step timeline shared across all lookups.
+        metrics: Optional :class:`~repro.trace.metrics.MetricsRegistry`
+            receiving live ``schedule_cache_*`` counters.
     """
 
     def __init__(
@@ -78,6 +86,8 @@ class ScheduleCache:
         config: OverlayConfig,
         objective: str = "performance",
         max_entries: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ScheduleError(
@@ -86,7 +96,10 @@ class ScheduleCache:
         self.config = config
         self.objective = objective
         self.max_entries = max_entries
+        self.tracer = as_tracer(tracer)
+        self.metrics = as_metrics(metrics)
         self._cache: OrderedDict[tuple, Schedule] = OrderedDict()
+        self._step_base = 0
         self.misses = 0
         self.hits = 0
         self.evictions = 0
@@ -99,19 +112,40 @@ class ScheduleCache:
         key = layer_signature(layer)
         if key in self._cache:
             self.hits += 1
+            self.metrics.counter(
+                "schedule_cache_hits", "schedule lookups served from cache"
+            ).inc()
+            self.tracer.instant(
+                "cache.hit", at=self._step_base, track="cache",
+                layer=layer.name,
+            )
             self._cache.move_to_end(key)
             cached = self._cache[key]
             if cached.layer is layer:
                 return cached
             return replace(cached, layer=layer)
         self.misses += 1
-        schedule = ScheduleSearch(
-            layer, self.config, objective=self.objective, top_k=1
-        ).run()[0]
+        self.metrics.counter(
+            "schedule_cache_misses", "schedule lookups that compiled"
+        ).inc()
+        self.tracer.instant(
+            "cache.miss", at=self._step_base, track="cache",
+            layer=layer.name,
+        )
+        search = ScheduleSearch(
+            layer, self.config, objective=self.objective, top_k=1,
+            tracer=self.tracer, metrics=self.metrics,
+            step_base=self._step_base,
+        )
+        schedule = search.run()[0]
+        self._step_base += search.steps
         self._cache[key] = schedule
         if self.max_entries is not None and len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
             self.evictions += 1
+            self.metrics.counter(
+                "schedule_cache_evictions", "LRU entries dropped at the bound"
+            ).inc()
         return schedule
 
     def stats(self) -> CacheStats:

@@ -14,6 +14,8 @@ from repro.compiler.search import Schedule, ScheduleSearch
 from repro.errors import ScheduleError
 from repro.fpga.devices import Device
 from repro.overlay.config import OverlayConfig
+from repro.trace.metrics import MetricsRegistry, as_metrics
+from repro.trace.span import Tracer, as_tracer
 from repro.workloads.layers import ConvLayer, MatMulLayer
 
 AcceleratedLayer = ConvLayer | MatMulLayer
@@ -65,29 +67,58 @@ def search_hardware_config(
     objective: str = "performance",
     spatial_beam: int | None = 80,
     temporal_beam: int | None = 120,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> HardwareSearchResult:
     """Find the best (d1, d2, d3) for ``layer`` at the TPE cost of
     ``base_config`` (Objective 3).
 
+    With a ``tracer``, the sweep opens one ``hwsearch:<layer>`` span on
+    the compiler step clock with each grid's mapping search nested under
+    it; ``metrics`` receives ``hwsearch_grids_*`` counters.
+
     Raises:
         ScheduleError: if no grid shape admits a feasible schedule.
     """
+    tracer = as_tracer(tracer)
+    metrics = as_metrics(metrics)
     n_tpe = base_config.n_tpe
     ranked: list[tuple[tuple[int, int, int], Schedule]] = []
-    for d1, d2, d3 in feasible_grids(n_tpe, device):
-        config = base_config.with_grid(d1, d2, d3)
-        try:
-            schedule = ScheduleSearch(
+    step = 0
+    root = tracer.begin(
+        f"hwsearch:{layer.name}", at=step, track="hwsearch",
+        n_tpe=n_tpe, objective=objective,
+    )
+    try:
+        for d1, d2, d3 in feasible_grids(n_tpe, device):
+            config = base_config.with_grid(d1, d2, d3)
+            search = ScheduleSearch(
                 layer,
                 config,
                 objective=objective,
                 top_k=1,
                 spatial_beam=spatial_beam,
                 temporal_beam=temporal_beam,
-            ).run()[0]
-        except ScheduleError:
-            continue
-        ranked.append(((d1, d2, d3), schedule))
+                tracer=tracer,
+                metrics=metrics,
+                step_base=step,
+            )
+            metrics.counter(
+                "hwsearch_grids_evaluated", "grid shapes swept"
+            ).inc(objective=objective)
+            try:
+                schedule = search.run()[0]
+            except ScheduleError:
+                metrics.counter(
+                    "hwsearch_grids_infeasible",
+                    "grid shapes with no feasible schedule",
+                ).inc(objective=objective)
+                continue
+            finally:
+                step += search.steps
+            ranked.append(((d1, d2, d3), schedule))
+    finally:
+        tracer.end(step, root)
     if not ranked:
         raise ScheduleError(
             f"no grid of {n_tpe} TPEs can schedule layer {layer.name!r}"

@@ -39,6 +39,8 @@ from repro.compiler.mapping import MappingVectors
 from repro.compiler.model import PerformanceEstimate, evaluate_mapping
 from repro.errors import ScheduleError
 from repro.overlay.config import OverlayConfig
+from repro.trace.metrics import MetricsRegistry, as_metrics
+from repro.trace.span import Tracer, as_tracer
 from repro.units import ceil_div
 from repro.workloads.layers import ConvLayer, MatMulLayer
 
@@ -158,6 +160,14 @@ class ScheduleSearch:
             utilization, then padding).  ``None`` explores all.
         temporal_beam: Max (T, L) combos per remainder vector.  ``None``
             explores all.
+        tracer: Optional :class:`~repro.trace.span.Tracer`; the search
+            opens per-phase spans stamped with a monotonic step counter
+            (``step_base`` + work units done) — never wall clock.
+        metrics: Optional :class:`~repro.trace.metrics.MetricsRegistry`;
+            candidate / pruning / memo counters are mirrored into it at
+            the end of each :meth:`run`.
+        step_base: Offset added to this search's step clock so several
+            searches sharing one tracer stay on one monotonic timeline.
     """
 
     def __init__(
@@ -168,6 +178,9 @@ class ScheduleSearch:
         top_k: int = 1,
         spatial_beam: int | None = 160,
         temporal_beam: int | None = 240,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        step_base: int = 0,
     ):
         if objective not in OBJECTIVES:
             raise ScheduleError(
@@ -189,6 +202,28 @@ class ScheduleSearch:
         self._in_weights = tuple(d.in_weights for d in dims)
         self._k = len(dims)
         self.candidates_evaluated = 0
+        self.tracer = as_tracer(tracer)
+        self.metrics = as_metrics(metrics)
+        self.step_base = step_base
+        #: Monotonic work counter (spatial choices ranked + temporal
+        #: combos built + candidates priced) — the search's trace clock.
+        self.steps = 0
+        self.spatial_enumerated = 0
+        self.spatial_beam_dropped = 0
+        self.pruned_by_capacity = 0
+        self.temporal_memo_hits = 0
+        #: Loops with iterations that the adjacency matrix (Fig. 5) bars
+        #: from some hardware level — the search space it never visits.
+        self.adjacency_excluded_loops = sum(
+            1
+            for level in ("D1", "D2", "D3", "T", "L")
+            for name, size in zip(self._loop_names, self._sizes)
+            if size > 1 and not self._adjacency[level][name]
+        )
+
+    def _now(self) -> int:
+        """Current step-clock timestamp for trace spans."""
+        return self.step_base + self.steps
 
     # ------------------------------------------------------------------ #
     # fast footprint helpers on positional tiles
@@ -259,7 +294,10 @@ class ScheduleSearch:
                     pad *= (tile * split) / size if tile * split > size else 1.0
             joint.append((used, pad, (t1, t2, t3)))
         joint.sort(key=lambda item: (-item[0], item[1]))
-        if self.spatial_beam is not None:
+        self.spatial_enumerated += len(joint)
+        self.steps += len(joint)
+        if self.spatial_beam is not None and len(joint) > self.spatial_beam:
+            self.spatial_beam_dropped += len(joint) - self.spatial_beam
             joint = joint[: self.spatial_beam]
         return [spatial for _, _, spatial in joint]
 
@@ -293,6 +331,8 @@ class ScheduleSearch:
                     and self._weight_fp(candidate) <= wbuf_cap
                 ):
                     recurse(pos + 1)
+                else:
+                    self.pruned_by_capacity += 1
             current[i] = 1
 
         recurse(0)
@@ -329,6 +369,8 @@ class ScheduleSearch:
                             and self._weight_fp(combined) <= wbuf_cap
                         ):
                             extended.append(tuple(candidate))
+                        else:
+                            self.pruned_by_capacity += 1
                 if extended:
                     l_choices = extended
             for l_tile in l_choices:
@@ -347,6 +389,7 @@ class ScheduleSearch:
                 xlt_tile = tuple(
                     lt_tile[i] * x_tile[i] for i in range(self._k)
                 )
+                self.steps += 1
                 combos.append(
                     _TemporalCombo(
                         t_tile=t_tile,
@@ -431,11 +474,38 @@ class ScheduleSearch:
             ScheduleError: if no feasible mapping exists (e.g. buffers too
                 small for any tile of this layer).
         """
+        tracer = self.tracer
+        depth0 = tracer.open_depth
+        snapshot = (
+            self.candidates_evaluated, self.steps, self.spatial_enumerated,
+            self.spatial_beam_dropped, self.pruned_by_capacity,
+            self.temporal_memo_hits,
+        )
+        tracer.begin(
+            f"search:{self.layer.name}", at=self._now(), track="search",
+            objective=self.objective,
+            grid=f"{self.config.d1}x{self.config.d2}x{self.config.d3}",
+        )
+        try:
+            return self._run_traced(tracer)
+        finally:
+            # Error paths may leave phase spans open; close everything
+            # this call opened (root included) at the final step clock.
+            while tracer.open_depth > depth0:
+                tracer.end(self._now())
+            self._mirror_metrics(snapshot)
+
+    def _run_traced(self, tracer: Tracer) -> list[Schedule]:
         heap: list[tuple[tuple, int, tuple, _TemporalCombo]] = []
         counter = itertools.count()
         temporal_memo: dict[tuple[int, ...], list[_TemporalCombo]] = {}
 
-        for spatial in self._spatial_choices():
+        span = tracer.begin("spatial", at=self._now(), track="search")
+        spatials = self._spatial_choices()
+        tracer.end(self._now(), span)
+
+        span = tracer.begin("evaluate", at=self._now(), track="search")
+        for spatial in spatials:
             d1_tile, d2_tile, d3_tile = spatial
             rem = tuple(
                 ceil_div(
@@ -448,9 +518,12 @@ class ScheduleSearch:
             if combos is None:
                 combos = self._temporal_combos(rem)
                 temporal_memo[rem] = combos
+            else:
+                self.temporal_memo_hits += 1
             for combo in combos:
                 c_exe, e_wbuf, score = self._price(spatial, combo)
                 self.candidates_evaluated += 1
+                self.steps += 1
                 key = self._objective_key(c_exe, e_wbuf, score)
                 neg_key = tuple(-v for v in key)
                 entry = (neg_key, next(counter), spatial, combo)
@@ -458,6 +531,7 @@ class ScheduleSearch:
                     heapq.heappush(heap, entry)
                 else:
                     heapq.heappushpop(heap, entry)
+        tracer.end(self._now(), span)
 
         if not heap:
             raise ScheduleError(
@@ -465,8 +539,10 @@ class ScheduleSearch:
                 f"({self.config.d1}, {self.config.d2}, {self.config.d3})"
             )
 
+        span = tracer.begin("materialize", at=self._now(), track="search")
         results = sorted(heap, key=lambda item: tuple(-v for v in item[0]))
         schedules = [self._materialize(spatial, combo) for _, _, spatial, combo in results]
+        tracer.end(self._now(), span)
 
         violations = check_constraints(self.layer, self.config, schedules[0].mapping)
         if violations:
@@ -475,6 +551,36 @@ class ScheduleSearch:
                 f"{violations}"
             )
         return schedules
+
+    def _mirror_metrics(self, snapshot: tuple[int, ...]) -> None:
+        """Publish this run's counter deltas into the metrics registry."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        deltas = {
+            "search_candidates_evaluated": self.candidates_evaluated,
+            "search_steps": self.steps,
+            "search_spatial_choices": self.spatial_enumerated,
+            "search_spatial_beam_dropped": self.spatial_beam_dropped,
+            "search_pruned_by_capacity": self.pruned_by_capacity,
+            "search_temporal_memo_hits": self.temporal_memo_hits,
+        }
+        helps = {
+            "search_candidates_evaluated": "mapping candidates priced",
+            "search_steps": "search work units (the trace step clock)",
+            "search_spatial_choices": "joint spatial choices enumerated",
+            "search_spatial_beam_dropped": "spatial choices cut by the beam",
+            "search_pruned_by_capacity": "tiles rejected by buffer capacity",
+            "search_temporal_memo_hits": "remainder vectors reused from memo",
+        }
+        for (name, total), base in zip(deltas.items(), snapshot):
+            metrics.counter(name, helps[name]).inc(
+                total - base, objective=self.objective
+            )
+        metrics.counter(
+            "search_adjacency_excluded_loops",
+            "loop/level pairs the adjacency matrix excludes",
+        ).inc(self.adjacency_excluded_loops, objective=self.objective)
 
     def _materialize(
         self,

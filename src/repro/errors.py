@@ -20,6 +20,8 @@ Class                       Raised when
                             fault leaves the overlay with no healthy sub-grid
 :class:`RetryExhaustedError`  a request burned every dispatch attempt under
                             repeated faults (subclass of :class:`FaultError`)
+:class:`TraceError`         a trace or metric is malformed (unbalanced spans,
+                            non-finite timestamps, metric kind clashes)
 ==========================  =====================================================
 """
 
@@ -101,6 +103,12 @@ class FaultError(FTDLError):
         super().__init__(message)
         self.replica = replica
         self.at_s = at_s
+
+
+class TraceError(FTDLError):
+    """A trace or metric is malformed: unbalanced begin/end pairs, a span
+    escaping its parent's interval, non-finite timestamps, or a metric
+    registered under one kind and requested as another."""
 
 
 class RetryExhaustedError(FaultError):

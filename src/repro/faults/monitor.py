@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import FaultError
+from repro.trace.span import Tracer, as_tracer
 
 
 @dataclass(frozen=True)
@@ -60,11 +61,20 @@ class HealthReport:
 
 
 class HealthMonitor:
-    """Track per-replica up/down transitions on the virtual clock."""
+    """Track per-replica up/down transitions on the virtual clock.
 
-    def __init__(self, replicas: Sequence[str]):
+    With a ``tracer``, every *state-changing* transition also lands as a
+    ``health.down`` / ``health.up`` / ``health.slowdown`` instant on the
+    replica's track — the same guarded transitions MTTR is computed
+    from, so trace-derived MTTR reconciles with :class:`HealthReport`
+    exactly.
+    """
+
+    def __init__(self, replicas: Sequence[str],
+                 tracer: Tracer | None = None):
         if not replicas:
             raise FaultError("health monitor needs at least one replica")
+        self.tracer = as_tracer(tracer)
         self._down_since: dict[str, float | None] = {
             name: None for name in replicas
         }
@@ -86,10 +96,12 @@ class HealthMonitor:
         if self._down_since[replica] is None:
             self._down_since[replica] = at_s
             self.crashes += 1
+            self.tracer.instant("health.down", at=at_s, track=replica)
 
     def record_slowdown(self, replica: str, at_s: float) -> None:
         self._check(replica, at_s)
         self.slowdowns += 1
+        self.tracer.instant("health.slowdown", at=at_s, track=replica)
 
     def record_recovery(self, replica: str, at_s: float) -> None:
         self._check(replica, at_s)
@@ -98,6 +110,10 @@ class HealthMonitor:
             self._repairs.append(at_s - down_since)
             self._downtime[replica] += at_s - down_since
             self._down_since[replica] = None
+            self.tracer.instant(
+                "health.up", at=at_s, track=replica,
+                repair_s=at_s - down_since,
+            )
         self.recoveries += 1
 
     def finalize(self, end_s: float, start_s: float = 0.0) -> HealthReport:

@@ -28,6 +28,7 @@ from repro.faults.events import (
     TpeCoord,
 )
 from repro.overlay.config import OverlayConfig
+from repro.trace.metrics import MetricsRegistry, as_metrics
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,7 @@ def generate_fault_schedule(
     bitflip_rate_hz: float = 0.0,
     correctable_fraction: float = 0.9,
     link_fault_rate_hz: float = 0.0,
+    metrics: MetricsRegistry | None = None,
 ) -> FaultSchedule:
     """Draw a deterministic fault schedule from seeded Poisson processes.
 
@@ -122,6 +124,8 @@ def generate_fault_schedule(
         bitflip_rate_hz: Per-replica DRAM upset rate;
             ``correctable_fraction`` are absorbed by ECC.
         link_fault_rate_hz: Per-replica transient bus/link glitch rate.
+        metrics: Optional registry; receives per-kind
+            ``faults_generated`` counters for the drawn schedule.
 
     Raises:
         FaultError: for invalid rates/fractions, an empty replica list,
@@ -192,7 +196,15 @@ def generate_fault_schedule(
             ))
         for t in _poisson_times(rng, link_fault_rate_hz, duration_s):
             events.append(LinkFault(at_s=t, replica=replica))
-    return FaultSchedule.from_events(events)
+    schedule = FaultSchedule.from_events(events)
+    registry = as_metrics(metrics)
+    if registry.enabled:
+        counter = registry.counter(
+            "faults_generated", "fault events drawn into the schedule"
+        )
+        for kind, count in schedule.counts().items():
+            counter.inc(count, kind=kind)
+    return schedule
 
 
 def random_tpe_mask(

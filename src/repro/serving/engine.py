@@ -67,6 +67,8 @@ from repro.serving.scheduler import (
     PipelineService,
     ReplicaService,
 )
+from repro.trace.metrics import MetricsRegistry, as_metrics
+from repro.trace.span import Tracer, as_tracer
 
 #: Drop reasons the engine emits.
 DROP_DEADLINE = "deadline"
@@ -85,6 +87,16 @@ class ServingEngine:
         fault_schedule: Optional deterministic fault events to replay
             against the run's virtual clock.
         retry_policy: Backoff/attempt budget for fault retries.
+        tracer: Optional :class:`~repro.trace.span.Tracer`.  Every
+            retired request emits its lifecycle span tree
+            (``request`` → ``queue`` / ``compute`` / ``dram``) stamped
+            with the virtual clock; batches land on their replica's
+            track, faults and failovers as instants.  Tracing only
+            observes timestamps the engine already computed — a traced
+            run's report is identical to an untraced one.
+        metrics: Optional :class:`~repro.trace.metrics.MetricsRegistry`
+            receiving ``serving_*`` counters, the request latency
+            histogram, and per-replica utilization gauges.
     """
 
     def __init__(
@@ -95,6 +107,8 @@ class ServingEngine:
         slo_s: float = 10e-3,
         fault_schedule: FaultSchedule | None = None,
         retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if slo_s <= 0:
             raise ServingError(f"slo_s must be positive, got {slo_s}")
@@ -104,6 +118,8 @@ class ServingEngine:
         self.slo_s = slo_s
         self.fault_schedule = fault_schedule
         self.retry_policy = retry_policy or RetryPolicy()
+        self.tracer = as_tracer(tracer)
+        self.metrics = as_metrics(metrics)
 
     def run(self, requests: Sequence[InferenceRequest]) -> ServingReport:
         """Serve ``requests`` (sorted by arrival) to completion."""
@@ -117,10 +133,13 @@ class ServingEngine:
         batcher = Batcher(self.batch_policy)
         admission = AdmissionController(self.admission_policy)
         scheduler = DispatchScheduler(self.service)
+        tracer = self.tracer
+        metrics = self.metrics
         faults: tuple[FaultEvent, ...] = (
             self.fault_schedule.events if self.fault_schedule else ()
         )
-        monitor = HealthMonitor(self.service.replica_names()) \
+        monitor = HealthMonitor(self.service.replica_names(),
+                                tracer=tracer) \
             if faults else None
 
         now = requests[0].arrival_s
@@ -142,21 +161,37 @@ class ServingEngine:
         t_start = requests[0].arrival_s
         t_last_complete = t_start
 
-        def drop(request: InferenceRequest, reason: str) -> None:
+        def drop(request: InferenceRequest, reason: str,
+                 at_s: float) -> None:
             request.drop_reason = reason
             dropped.append(request)
+            metrics.counter(
+                "serving_requests_dropped", "requests dropped, by reason"
+            ).inc(reason=reason)
+            tracer.add_span(
+                "request", request.arrival_s, max(at_s, request.arrival_s),
+                track="requests", id=request.request_id, status="dropped",
+                reason=reason, attempts=request.attempts,
+            )
 
         def retry_or_drop(request: InferenceRequest, at_s: float) -> None:
             """Requeue a fault-struck request, or drop it."""
             nonlocal n_retries
             if request.attempts >= self.retry_policy.max_attempts:
-                drop(request, DROP_RETRY_EXHAUSTED)
+                drop(request, DROP_RETRY_EXHAUSTED, at_s)
                 return
             retry_at = at_s + self.retry_policy.backoff_s(request.attempts)
             if retry_at >= request.deadline_at_s:
-                drop(request, DROP_DEADLINE)
+                drop(request, DROP_DEADLINE, at_s)
                 return
             n_retries += 1
+            metrics.counter(
+                "serving_retries", "fault-driven retry dispatches"
+            ).inc()
+            tracer.instant(
+                "failover.retry", at=at_s, track="engine",
+                id=request.request_id, retry_at_s=retry_at,
+            )
             heapq.heappush(retryq, (retry_at, next(retry_seq), request))
 
         def abort_inflight(replica: str, at_s: float) -> None:
@@ -173,6 +208,12 @@ class ServingEngine:
         def apply_fault(event: FaultEvent) -> None:
             assert monitor is not None
             fault_counts[event.kind] = fault_counts.get(event.kind, 0) + 1
+            metrics.counter(
+                "faults_injected", "fault events applied, by kind"
+            ).inc(kind=event.kind)
+            tracer.instant(
+                f"fault.{event.kind}", at=event.at_s, track=event.replica,
+            )
             if isinstance(event, ReplicaCrash):
                 replica = scheduler.by_name(event.replica)
                 if replica.healthy:
@@ -243,7 +284,7 @@ class ServingEngine:
 
             # Shed queued requests whose deadline has already passed.
             for request in batcher.expire(now):
-                drop(request, DROP_DEADLINE)
+                drop(request, DROP_DEADLINE, now)
 
             # Launch batches while a replica is free and the policy fires.
             while True:
@@ -295,10 +336,10 @@ class ServingEngine:
                 # No replica will ever free and no event is pending:
                 # strand-drop whatever is still queued or backing off.
                 for request in batcher.pop_all():
-                    drop(request, DROP_NO_REPLICA)
+                    drop(request, DROP_NO_REPLICA, now)
                 while retryq:
                     _, _, request = heapq.heappop(retryq)
-                    drop(request, DROP_NO_REPLICA)
+                    drop(request, DROP_NO_REPLICA, now)
                 break
             next_t = max(min(candidates), now)
             depth_integral += batcher.depth * (next_t - now)
@@ -314,9 +355,30 @@ class ServingEngine:
                 for req in dispatch.batch.requests:
                     req.complete_s = done_s
                     completed.append(req)
+                    metrics.counter(
+                        "serving_requests_completed", "requests served"
+                    ).inc()
+                    metrics.histogram(
+                        "serving_request_latency_s",
+                        "end-to-end request latency, seconds",
+                    ).observe(done_s - req.arrival_s)
+                if tracer.enabled:
+                    self._trace_batch(tracer, dispatch, done_s)
                 t_last_complete = max(t_last_complete, done_s)
 
         makespan = t_last_complete - t_start
+        if metrics.enabled:
+            for name, util in scheduler.utilization(makespan).items():
+                metrics.gauge(
+                    "serving_replica_utilization",
+                    "busy fraction over the makespan",
+                ).set(util, replica=name)
+            metrics.gauge(
+                "serving_queue_depth_max", "peak batcher queue depth"
+            ).set(depth_max)
+            metrics.counter(
+                "serving_requests_rejected", "arrivals refused by admission"
+            ).inc(admission.rejected)
         return ServingReport(
             model=model,
             completed=tuple(completed),
@@ -338,3 +400,51 @@ class ServingEngine:
                 if monitor is not None else None
             ),
         )
+
+    def _trace_batch(self, tracer: Tracer, dispatch: Dispatch,
+                     done_s: float) -> None:
+        """Emit a retired batch's span and its requests' lifecycle trees.
+
+        Timestamps are the exact virtual-clock instants the engine
+        already stamped on the requests, so every ``request`` root
+        span's duration *is* that request's end-to-end latency, and the
+        ``queue`` / ``compute`` / ``dram`` children partition it.  The
+        compute/DRAM boundary applies the service model's healthy
+        compute fraction to the batch's actual (possibly slowdown- or
+        degrade-inflated) service interval.
+        """
+        batch = dispatch.batch
+        tracer.add_span(
+            "batch", dispatch.start_s, done_s, track=dispatch.replica,
+            size=batch.size,
+        )
+        split = getattr(self.service, "latency_split", None)
+        compute_s, transfer_s = split(batch.size) if split else (1.0, 0.0)
+        total = compute_s + transfer_s
+        frac = compute_s / total if total > 0 else 1.0
+        for req in batch.requests:
+            root = tracer.add_span(
+                "request", req.arrival_s, done_s, track="requests",
+                id=req.request_id, status="completed",
+                replica=dispatch.replica, batch=batch.size,
+                attempts=req.attempts,
+            )
+            dispatch_s = req.dispatch_s
+            assert dispatch_s is not None
+            tracer.add_span(
+                "queue", req.arrival_s, dispatch_s, parent=root,
+                track="requests", id=req.request_id,
+            )
+            # min() guards the last-ulp case where frac == 1.0 and the
+            # add rounds a hair past done_s.
+            compute_end = min(
+                dispatch_s + (done_s - dispatch_s) * frac, done_s
+            )
+            tracer.add_span(
+                "compute", dispatch_s, compute_end, parent=root,
+                track="requests", id=req.request_id,
+            )
+            tracer.add_span(
+                "dram", compute_end, done_s, parent=root,
+                track="requests", id=req.request_id,
+            )

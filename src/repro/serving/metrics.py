@@ -24,8 +24,10 @@ def percentile(values: list[float], q: float) -> float:
     ordered = sorted(values)
     if q == 0.0:
         return ordered[0]
-    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n * q / 100)
-    return ordered[int(rank) - 1]
+    rank = int(max(1, -(-len(ordered) * q // 100)))  # ceil(n * q / 100)
+    # The float ceil can land one past the last sample on tiny n (e.g.
+    # p99 of 2 values); a high percentile clamps to the max, never past.
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass(frozen=True)
@@ -113,7 +115,9 @@ class ServingReport:
         return [r.latency_s for r in self.completed]
 
     def latency_percentile_s(self, q: float) -> float:
-        return percentile(self.latencies_s, q)
+        """Nearest-rank latency percentile; 0.0 over an empty window."""
+        lat = self.latencies_s
+        return percentile(lat, q) if lat else 0.0
 
     @property
     def p50_s(self) -> float:

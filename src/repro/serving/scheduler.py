@@ -50,6 +50,13 @@ class ReplicaService:
     def occupancy_s(self, batch_size: int) -> float:
         return self.model.service_s(batch_size)
 
+    def latency_split(self, batch_size: int) -> tuple[float, float]:
+        """(compute_s, dram_transfer_s) decomposition of the healthy
+        service time — the tracer uses the ratio to subdivide a batch's
+        service span."""
+        cost = self.model.cost(batch_size)
+        return cost.compute_s, cost.transfer_s
+
     def cache_stats(self) -> CacheStats:
         return self.model.cache.stats()
 
@@ -135,6 +142,15 @@ class PipelineService:
     def occupancy_s(self, batch_size: int) -> float:
         """Initiation interval: the bottleneck stage gates admission."""
         return max(s.service_s(batch_size) for s in self._stages)
+
+    def latency_split(self, batch_size: int) -> tuple[float, float]:
+        """(compute_s, dram_transfer_s) summed across the pipeline's
+        stages — the fill latency's decomposition."""
+        costs = [s.cost(batch_size) for s in self._stages]
+        return (
+            sum(c.compute_s for c in costs),
+            sum(c.transfer_s for c in costs),
+        )
 
     def cache_stats(self) -> CacheStats:
         """Aggregate schedule-cache counters across the pipeline stages."""

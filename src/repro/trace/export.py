@@ -1,0 +1,162 @@
+"""Exporters: Chrome trace JSON and Prometheus text exposition.
+
+Both outputs are deterministic functions of their inputs — series are
+emitted in sorted order and floats are formatted with ``repr`` — so a
+seeded run's exports diff cleanly against golden files.
+
+Chrome traces open in ``chrome://tracing`` (or https://ui.perfetto.dev):
+each tracer becomes one *process* row, each track one *thread* row.
+Tracers with ``unit="s"`` scale virtual seconds to the microseconds the
+format expects; ``unit="step"`` tracers map one step to one microsecond,
+so compiler step counts read directly off the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.errors import TraceError
+from repro.trace.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+)
+from repro.trace.span import Tracer
+
+
+def _scale(tracer: Tracer) -> float:
+    """Timestamp → microsecond factor for one tracer."""
+    return 1e6 if tracer.unit == "s" else 1.0
+
+
+def chrome_trace(
+    tracers: Mapping[str, Tracer] | Tracer,
+) -> dict:
+    """Build a ``chrome://tracing`` JSON object from one or more tracers.
+
+    Args:
+        tracers: One tracer, or ``{process_name: tracer}`` — each named
+            tracer becomes its own process row so mixed-unit timelines
+            (compiler steps vs serving seconds) stay visually separate.
+
+    Raises:
+        TraceError: if any span is still open (an unbalanced trace
+            cannot be rendered honestly).
+    """
+    if isinstance(tracers, Tracer):
+        tracers = {"trace": tracers}
+    events: list[dict] = []
+    for pid, (process, tracer) in enumerate(tracers.items(), start=1):
+        open_spans = [s.name for s in tracer.spans if not s.closed]
+        if open_spans:
+            raise TraceError(
+                f"tracer {process!r} has open spans: {open_spans}"
+            )
+        scale = _scale(tracer)
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"{process} [{tracer.unit}]"},
+        })
+        tids: dict[str, int] = {}
+
+        def tid_of(track: str, pid: int = pid, tids: dict = tids) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tids[track], "args": {"name": track},
+                })
+            return tids[track]
+
+        for span in tracer.spans:
+            assert span.end is not None
+            tid = tid_of(span.track)
+            events.append({
+                "ph": "X", "name": span.name, "cat": "span",
+                "pid": pid, "tid": tid,
+                "ts": span.start * scale,
+                "dur": (span.end - span.start) * scale,
+                "args": dict(span.args),
+            })
+            for event in span.events:
+                events.append({
+                    "ph": "i", "name": event.name, "cat": "event",
+                    "pid": pid, "tid": tid, "s": "t",
+                    "ts": event.at * scale,
+                    "args": dict(event.args),
+                })
+        for instant in tracer.instants:
+            events.append({
+                "ph": "i", "name": instant.name, "cat": "instant",
+                "pid": pid, "tid": tid_of(instant.track), "s": "t",
+                "ts": instant.at * scale,
+                "args": dict(instant.args),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracers: Mapping[str, Tracer] | Tracer) -> str:
+    """:func:`chrome_trace` serialized deterministically."""
+    return json.dumps(chrome_trace(tracers), sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+# ---------------------------------------------------------------------- #
+def _fmt_value(value: float) -> str:
+    """Deterministic number formatting: integral values lose the dot."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(key) + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric in Prometheus' text exposition format.
+
+    Output is sorted by metric name, then label set, so two identical
+    runs produce byte-identical text.
+    """
+    lines: list[str] = []
+    for metric in registry.metrics():
+        lines.append(f"# HELP {metric.name} {metric.help}".rstrip())
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            series = metric.series()
+            if not series:
+                lines.append(f"{metric.name} 0")
+            for key, value in series.items():
+                lines.append(
+                    f"{metric.name}{_fmt_labels(key)} {_fmt_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for key in metric.series():
+                labels = dict(key)
+                cumulative = metric.cumulative_buckets(**labels)
+                bounds = [repr(b) for b in metric.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_fmt_labels(key, (('le', bound),))} {count}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_fmt_labels(key)} "
+                    f"{_fmt_value(metric.sum(**labels))}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_fmt_labels(key)} "
+                    f"{metric.count(**labels)}"
+                )
+        else:  # pragma: no cover - registry only holds the three kinds
+            raise TraceError(f"unknown metric kind {metric!r}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,285 @@
+"""Lightweight counters, gauges, and histograms with labels.
+
+A :class:`MetricsRegistry` is the numeric half of the observability
+layer: monotone :class:`Counter` series (candidates enumerated, cache
+hits, drops by reason), :class:`Gauge` last-value series (per-replica
+utilization), and fixed-bucket :class:`Histogram` series (request
+latency).  Every series is keyed by a sorted label tuple, so iteration
+— and therefore the Prometheus text exposition in
+:mod:`repro.trace.export` — is deterministic.
+
+Like the tracer, the registry never reads a clock: values are whatever
+the instrumented code hands in, on the run's virtual time base.  The
+disabled default is :data:`NULL_METRICS`, whose instruments drop every
+update.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+from repro.errors import TraceError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Label-set key: labels sorted by name, as a hashable tuple.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TraceError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    for label in labels:
+        if not _NAME_RE.match(label) or label.startswith("__"):
+            raise TraceError(f"invalid label name {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing set of labeled series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the labeled series.
+
+        Raises:
+            TraceError: for a negative or non-finite amount.
+        """
+        if not math.isfinite(amount) or amount < 0:
+            raise TraceError(
+                f"counter {self.name} increment must be finite and >= 0, "
+                f"got {amount}"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labeled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        """All series, sorted by label key."""
+        return dict(sorted(self._values.items()))
+
+
+class Gauge:
+    """A last-value-wins set of labeled series."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Overwrite the labeled series with ``value``.
+
+        Raises:
+            TraceError: for a non-finite value.
+        """
+        if not math.isfinite(value):
+            raise TraceError(
+                f"gauge {self.name} value must be finite, got {value}"
+            )
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labeled series.
+
+        Raises:
+            TraceError: if the series was never set.
+        """
+        key = _label_key(labels)
+        if key not in self._values:
+            raise TraceError(f"gauge {self.name}{dict(key)} was never set")
+        return self._values[key]
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(sorted(self._values.items()))
+
+
+class Histogram:
+    """Fixed-bucket distribution of labeled observations.
+
+    Buckets are upper bounds (a ``+Inf`` bucket is implicit), matching
+    Prometheus' cumulative-bucket exposition.
+    """
+
+    kind = "histogram"
+
+    #: Latency-flavoured default bounds, seconds.
+    DEFAULT_BUCKETS = (
+        0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+    )
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else self.DEFAULT_BUCKETS
+        if not bounds:
+            raise TraceError(f"histogram {name} needs at least one bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise TraceError(f"histogram {name} buckets must be finite")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TraceError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {bounds}"
+            )
+        self.buckets = bounds
+        self._counts: dict[LabelKey, list[int]] = {}
+        self._sums: dict[LabelKey, float] = {}
+        self._totals: dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labeled series.
+
+        Raises:
+            TraceError: for a non-finite value.
+        """
+        if not math.isfinite(value):
+            raise TraceError(
+                f"histogram {self.name} observation must be finite, "
+                f"got {value}"
+            )
+        key = _label_key(labels)
+        if key not in self._counts:
+            self._counts[key] = [0] * (len(self.buckets) + 1)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[key][i] += 1
+                break
+        else:
+            self._counts[key][-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        """Observations recorded into the labeled series."""
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations in the labeled series."""
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def cumulative_buckets(self, **labels: object) -> list[int]:
+        """Cumulative counts per bucket bound (``+Inf`` last)."""
+        raw = self._counts.get(
+            _label_key(labels), [0] * (len(self.buckets) + 1)
+        )
+        out, running = [], 0
+        for count in raw:
+            running += count
+            out.append(running)
+        return out
+
+    def series(self) -> dict[LabelKey, list[int]]:
+        return {key: list(counts)
+                for key, counts in sorted(self._counts.items())}
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, name: str, kind: type, factory) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TraceError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {kind.kind}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get(
+            name, Histogram, lambda: Histogram(name, help, buckets)
+        )
+
+    def metrics(self) -> list[Metric]:
+        """Every registered metric, sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry whose instruments drop every update — the disabled
+    default for instrumented code."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._histogram
+
+
+#: Module-wide disabled registry; instrumented code defaults to it.
+NULL_METRICS = NullMetricsRegistry()
+
+
+def as_metrics(metrics: MetricsRegistry | None) -> MetricsRegistry:
+    """Normalize an optional registry argument to a usable instance."""
+    return metrics if metrics is not None else NULL_METRICS

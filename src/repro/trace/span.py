@@ -1,0 +1,339 @@
+"""Span-based tracing on explicit virtual timestamps.
+
+A :class:`Tracer` records *spans* (named intervals with arbitrary
+key/value args), *span events* (points inside the currently open span),
+and *instants* (free-standing points).  Every timestamp is supplied
+explicitly by the caller — the serving engine passes its virtual-clock
+instants, the compiler passes a monotonic step counter — so a trace is a
+pure function of the run's inputs and **never** reads the wall clock
+(``tests/test_no_wall_clock.py`` enforces this repo-wide).
+
+Two recording styles coexist:
+
+* **Stack-based** (:meth:`Tracer.begin` / :meth:`Tracer.end`) for code
+  that traces as it executes — spans nest through an explicit stack and
+  must close in LIFO order, which guarantees proper nesting by
+  construction.  Used by the compiler search.
+* **Retrospective** (:meth:`Tracer.add_span`) for discrete-event code
+  that only learns an interval when it retires — the serving engine
+  emits a request's whole span tree at completion time with explicit
+  parent handles.  Containment inside the parent is checked on entry.
+
+The default everywhere is :data:`NULL_TRACER`, a :class:`NullTracer`
+whose methods are no-ops: instrumented code pays one dynamic dispatch
+per call site when tracing is off, and — critically — tracing on or off
+never changes any schedule, latency, or metric, because the tracer only
+*observes* timestamps the caller already computed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import TraceError
+
+#: Timestamp units a tracer may declare.
+UNITS = ("s", "step")
+
+
+def _check_at(name: str, at: float) -> float:
+    if not math.isfinite(at):
+        raise TraceError(f"{name} timestamp must be finite, got {at}")
+    return at
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A named point inside one span's interval."""
+
+    name: str
+    at: float
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A free-standing named point on one track."""
+
+    name: str
+    at: float
+    track: str = "main"
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One named interval.  ``end is None`` while the span is open."""
+
+    span_id: int
+    name: str
+    track: str
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span length in the tracer's unit.
+
+        Raises:
+            TraceError: if the span is still open.
+        """
+        if self.end is None:
+            raise TraceError(f"span {self.name!r} (#{self.span_id}) is open")
+        return self.end - self.start
+
+
+class Tracer:
+    """Collect spans and instants with caller-supplied timestamps.
+
+    Args:
+        unit: What the timestamps mean — ``"s"`` (virtual seconds, the
+            serving engine) or ``"step"`` (a monotonic work counter, the
+            compiler).  Exporters use this to scale the timeline.
+    """
+
+    enabled = True
+
+    def __init__(self, unit: str = "s"):
+        if unit not in UNITS:
+            raise TraceError(f"unit must be one of {UNITS}, got {unit!r}")
+        self.unit = unit
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # stack-based recording (traces as the code runs)
+    # ------------------------------------------------------------------ #
+    def begin(self, name: str, at: float, *, track: str = "main",
+              **args: Any) -> Span:
+        """Open a span at ``at``, nested under the current open span.
+
+        Raises:
+            TraceError: for a non-finite timestamp, or one before the
+                enclosing span's start.
+        """
+        _check_at(name, at)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None and at < parent.start:
+            raise TraceError(
+                f"span {name!r} starts at {at} before its parent "
+                f"{parent.name!r} at {parent.start}"
+            )
+        span = Span(
+            span_id=self._next_id, name=name, track=track, start=at,
+            parent_id=parent.span_id if parent else None, args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, at: float, span: Span | None = None) -> Span:
+        """Close the innermost open span at ``at``.
+
+        ``span``, when given, asserts which span the caller believes it
+        is closing — a mismatch means unbalanced begin/end pairs.
+
+        Raises:
+            TraceError: if no span is open, ``span`` is not the
+                innermost one, or ``at`` precedes the span's start.
+        """
+        if not self._stack:
+            raise TraceError("end() with no open span")
+        top = self._stack[-1]
+        if span is not None and span is not top:
+            raise TraceError(
+                f"end() for span {span.name!r} but {top.name!r} is "
+                f"innermost — begin/end pairs are unbalanced"
+            )
+        _check_at(top.name, at)
+        if at < top.start:
+            raise TraceError(
+                f"span {top.name!r} ends at {at} before its start "
+                f"{top.start}"
+            )
+        self._stack.pop()
+        top.end = at
+        return top
+
+    def event(self, name: str, at: float, **args: Any) -> SpanEvent:
+        """Attach a named point to the innermost open span.
+
+        Raises:
+            TraceError: if no span is open or ``at`` is non-finite.
+        """
+        if not self._stack:
+            raise TraceError(f"event {name!r} with no open span")
+        _check_at(name, at)
+        event = SpanEvent(name=name, at=at, args=dict(args))
+        self._stack[-1].events.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # retrospective recording (discrete-event code, emits at retirement)
+    # ------------------------------------------------------------------ #
+    def add_span(self, name: str, start: float, end: float, *,
+                 parent: Span | None = None, track: str = "main",
+                 **args: Any) -> Span:
+        """Record an already-finished span ``[start, end]``.
+
+        ``parent`` attaches the span under another (itself usually
+        retrospective); the child interval must sit inside the parent's.
+
+        Raises:
+            TraceError: for non-finite timestamps, ``end < start``, or a
+                child interval escaping its parent.
+        """
+        _check_at(name, start)
+        _check_at(name, end)
+        if end < start:
+            raise TraceError(
+                f"span {name!r} ends at {end} before its start {start}"
+            )
+        parent_id = None
+        if parent is not None and parent.span_id >= 0:
+            if start < parent.start or (
+                parent.end is not None and end > parent.end
+            ):
+                raise TraceError(
+                    f"span {name!r} [{start}, {end}] escapes parent "
+                    f"{parent.name!r} [{parent.start}, {parent.end}]"
+                )
+            parent_id = parent.span_id
+        span = Span(
+            span_id=self._next_id, name=name, track=track, start=start,
+            end=end, parent_id=parent_id, args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, at: float, *, track: str = "main",
+                **args: Any) -> Instant:
+        """Record a free-standing point (fault injection, failover, ...)."""
+        _check_at(name, at)
+        instant = Instant(name=name, at=at, track=track, args=dict(args))
+        self.instants.append(instant)
+        return instant
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def open_depth(self) -> int:
+        """Number of spans begun but not yet ended."""
+        return len(self._stack)
+
+    def by_id(self, span_id: int) -> Span:
+        """Look up one span.
+
+        Raises:
+            TraceError: for an unknown id.
+        """
+        for span in self.spans:
+            if span.span_id == span_id:
+                return span
+        raise TraceError(f"unknown span id {span_id}")
+
+    def roots(self) -> list[Span]:
+        """Top-level spans (no parent), in recording order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in recording order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> Iterator[Span]:
+        """Spans named ``name``, in recording order."""
+        return (s for s in self.spans if s.name == name)
+
+    def validate(self) -> list[str]:
+        """Well-formedness problems, empty when the trace is clean.
+
+        Checks: every span closed, ``end >= start``, children inside
+        their parent's interval, span events inside their span, parent
+        ids resolving.  (Siblings may overlap — the serving engine's
+        retrospective request spans legitimately do.)
+        """
+        problems = []
+        by_id = {s.span_id: s for s in self.spans}
+        for span in self.spans:
+            tag = f"span {span.name!r} (#{span.span_id})"
+            if span.end is None:
+                problems.append(f"{tag} was never closed")
+                continue
+            if span.end < span.start:
+                problems.append(
+                    f"{tag} ends at {span.end} before start {span.start}"
+                )
+            parent = None
+            if span.parent_id is not None:
+                parent = by_id.get(span.parent_id)
+                if parent is None:
+                    problems.append(
+                        f"{tag} references unknown parent "
+                        f"#{span.parent_id}"
+                    )
+            if parent is not None and parent.end is not None:
+                if span.start < parent.start or span.end > parent.end:
+                    problems.append(
+                        f"{tag} [{span.start}, {span.end}] escapes parent "
+                        f"{parent.name!r} [{parent.start}, {parent.end}]"
+                    )
+            for event in span.events:
+                if not span.start <= event.at <= span.end:
+                    problems.append(
+                        f"{tag} event {event.name!r} at {event.at} is "
+                        f"outside [{span.start}, {span.end}]"
+                    )
+        return problems
+
+
+#: Shared placeholder returned by :class:`NullTracer` methods so call
+#: sites can thread a "parent" through without branching.
+_NULL_SPAN = Span(span_id=-1, name="null", track="main", start=0.0, end=0.0)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the zero-cost disabled default."""
+
+    enabled = False
+
+    def begin(self, name: str, at: float, *, track: str = "main",
+              **args: Any) -> Span:
+        return _NULL_SPAN
+
+    def end(self, at: float, span: Span | None = None) -> Span:
+        return _NULL_SPAN
+
+    def event(self, name: str, at: float, **args: Any) -> SpanEvent:
+        return SpanEvent(name="null", at=0.0)
+
+    def add_span(self, name: str, start: float, end: float, *,
+                 parent: Span | None = None, track: str = "main",
+                 **args: Any) -> Span:
+        return _NULL_SPAN
+
+    def instant(self, name: str, at: float, *, track: str = "main",
+                **args: Any) -> Instant:
+        return Instant(name="null", at=0.0)
+
+
+#: Module-wide disabled tracer; instrumented code defaults to it.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: Tracer | None) -> Tracer:
+    """Normalize an optional tracer argument to a usable instance."""
+    return tracer if tracer is not None else NULL_TRACER

@@ -82,3 +82,52 @@ class TestServingReport:
         assert report.slo_violation_rate == 1.0
         assert report.mean_latency_s == 0.0
         assert "rejected" in report.describe()
+
+
+class TestTinySamplePercentiles:
+    """Regressions: high percentiles of tiny samples clamp to the max."""
+
+    def test_p99_of_two_is_max(self):
+        assert percentile([1.0, 2.0], 99) == 2.0
+
+    def test_p95_of_two_is_max(self):
+        assert percentile([5.0, 3.0], 95) == 5.0
+
+    def test_high_q_never_exceeds_max(self):
+        for n in range(1, 8):
+            values = [float(i) for i in range(n)]
+            for q in (90, 95, 99, 99.9, 100):
+                assert percentile(values, q) == values[-1]
+
+    def test_fractional_q_on_tiny_sample(self):
+        # ceil(2 * 99.9 / 100) lands exactly on n; anything past it
+        # must clamp rather than index out of range.
+        assert percentile([1.0, 2.0], 99.9) == 2.0
+        assert percentile([1.0], 99.9) == 1.0
+
+
+class TestEmptyWindowGuards:
+    """Regressions: an empty completion window never divides or raises."""
+
+    def test_percentiles_zero_on_empty_report(self):
+        report = _report([], rejected=1)
+        assert report.p50_s == 0.0
+        assert report.p95_s == 0.0
+        assert report.p99_s == 0.0
+        assert report.latency_percentile_s(99.9) == 0.0
+
+    def test_all_ratio_metrics_finite_on_empty_report(self):
+        import math
+
+        report = _report([], rejected=0, makespan=0.0)
+        for value in (
+            report.throughput_rps, report.drop_rate, report.availability,
+            report.slo_violation_rate, report.mean_latency_s,
+            report.mean_queue_wait_s, report.mean_batch_size,
+            report.mean_utilization,
+        ):
+            assert math.isfinite(value)
+
+    def test_raw_percentile_still_strict_on_empty(self):
+        with pytest.raises(ServingError):
+            percentile([], 99)

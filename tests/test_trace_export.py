@@ -1,0 +1,113 @@
+"""Exporters: Chrome trace JSON shape, Prometheus text, determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.export import chrome_trace, chrome_trace_json, prometheus_text
+from repro.trace.metrics import MetricsRegistry
+from repro.trace.span import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer(unit="s")
+    root = tr.add_span("request", 0.0, 2e-3, track="requests", id=0)
+    tr.add_span("queue", 0.0, 1e-3, parent=root, track="requests")
+    tr.add_span("compute", 1e-3, 2e-3, parent=root, track="requests")
+    tr.instant("fault.crash", at=1.5e-3, track="overlay0")
+    return tr
+
+
+class TestChromeTrace:
+    def test_complete_events_and_metadata(self):
+        doc = chrome_trace(_sample_tracer())
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("X") == 3
+        assert phases.count("i") == 1
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert names == ["trace [s]"]
+        thread_names = {e["args"]["name"] for e in doc["traceEvents"]
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert thread_names == {"requests", "overlay0"}
+
+    def test_seconds_scale_to_microseconds(self):
+        doc = chrome_trace(_sample_tracer())
+        root = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "request")
+        assert root["ts"] == 0.0
+        assert root["dur"] == pytest.approx(2e3)  # 2 ms -> 2000 us
+
+    def test_step_unit_maps_one_to_one(self):
+        tr = Tracer(unit="step")
+        tr.add_span("search", 0, 120, track="search")
+        doc = chrome_trace(tr)
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["dur"] == 120
+
+    def test_multiple_tracers_get_distinct_pids(self):
+        doc = chrome_trace({
+            "compiler": Tracer(unit="step"), "serving": _sample_tracer(),
+        })
+        processes = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert processes == {"compiler [step]": 1, "serving [s]": 2}
+
+    def test_open_span_rejected(self):
+        tr = Tracer()
+        tr.begin("open", at=0.0)
+        with pytest.raises(TraceError, match="open spans"):
+            chrome_trace(tr)
+
+    def test_json_is_deterministic_and_parses(self):
+        first = chrome_trace_json(_sample_tracer())
+        second = chrome_trace_json(_sample_tracer())
+        assert first == second
+        assert json.loads(first)["displayTimeUnit"] == "ms"
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "served").inc(3)
+        reg.counter("drops", "").inc(reason="deadline")
+        reg.gauge("depth", "peak").set(42)
+        h = reg.histogram("lat", "latency", buckets=(0.001, 0.01))
+        h.observe(0.0005)
+        h.observe(0.5)
+        text = prometheus_text(reg)
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert 'drops{reason="deadline"} 1' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 42" in text
+        assert 'lat_bucket{le="0.001"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 0.5005" in text
+        assert "lat_count 2" in text
+
+    def test_sorted_by_metric_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta", "").inc()
+        reg.counter("alpha", "").inc()
+        text = prometheus_text(reg)
+        assert text.index("alpha") < text.index("zeta")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_never_incremented_counter_reads_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "")
+        assert "x 0" in prometheus_text(reg)
+
+    def test_deterministic_across_label_insertion_order(self):
+        def build(order):
+            reg = MetricsRegistry()
+            c = reg.counter("x", "")
+            for reason in order:
+                c.inc(reason=reason)
+            return prometheus_text(reg)
+
+        assert build(["a", "b"]) == build(["b", "a"])

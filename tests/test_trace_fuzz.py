@@ -1,0 +1,157 @@
+"""Seeded fuzz: span-tree well-formedness over randomized chaos runs.
+
+Each case draws serving and fault parameters from one explicit seed,
+runs the engine with tracing on, and checks the structural invariants
+every trace must satisfy: no open spans, monotonic timestamps, children
+contained in parents, request roots accounting for every completed and
+dropped request — plus bit-identical trace JSON when the seed repeats,
+and an unchanged serving report when tracing is disabled.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.cache import CacheStats
+from repro.faults.schedule import generate_fault_schedule
+from repro.serving.batcher import BatchPolicy
+from repro.serving.engine import ServingEngine
+from repro.serving.request import RetryPolicy, make_requests, poisson_arrivals
+from repro.serving.scheduler import ReplicaService
+from repro.trace.export import chrome_trace_json
+from repro.trace.metrics import MetricsRegistry
+from repro.trace.span import Tracer
+
+SEEDS = list(range(8))
+
+
+class FuzzService:
+    """Deterministic stand-in service: no compilation, full fault API."""
+
+    def __init__(self, n_replicas: int, service_s: float):
+        self.n_replicas = n_replicas
+        self._service_s = service_s
+
+    def latency_s(self, batch_size: int) -> float:
+        return self._service_s * (1.0 + 0.1 * batch_size)
+
+    def occupancy_s(self, batch_size: int) -> float:
+        return self.latency_s(batch_size)
+
+    def latency_split(self, batch_size: int) -> tuple[float, float]:
+        latency = self.latency_s(batch_size)
+        return 0.7 * latency, 0.3 * latency
+
+    def cache_stats(self) -> CacheStats:
+        return CacheStats(hits=0, misses=0, evictions=0, size=0,
+                          max_entries=None)
+
+    def replica_names(self) -> list[str]:
+        return [f"fuzz{i}" for i in range(self.n_replicas)]
+
+    def degrade_slowdown(self, masked, batch_size: int) -> float:
+        return 1.0 + 0.05 * len(masked)
+
+
+def _chaos_run(seed: int, tracer=None, metrics=None):
+    rng = random.Random(seed)
+    n_replicas = rng.randint(1, 3)
+    service = FuzzService(n_replicas, service_s=rng.uniform(5e-4, 2e-3))
+    times = poisson_arrivals(
+        rng.uniform(300.0, 2000.0), rng.randint(30, 120), seed=seed
+    )
+    requests = make_requests(
+        times, "fuzz",
+        deadline_s=rng.choice([None, rng.uniform(0.01, 0.05)]),
+    )
+    faults = generate_fault_schedule(
+        seed=seed + 1,
+        duration_s=times[-1] - times[0] + 1e-9,
+        replicas=service.replica_names(),
+        grid=(2, 2, 2),
+        crash_rate_hz=rng.uniform(0.0, 20.0),
+        mean_repair_s=rng.uniform(0.001, 0.02),
+        slowdown_rate_hz=rng.uniform(0.0, 10.0),
+        tpe_fault_rate_hz=rng.uniform(0.0, 5.0),
+        bitflip_rate_hz=rng.uniform(0.0, 20.0),
+        correctable_fraction=0.5,
+        link_fault_rate_hz=rng.uniform(0.0, 5.0),
+    )
+    engine = ServingEngine(
+        service,
+        batch_policy=BatchPolicy(
+            max_batch=rng.randint(1, 8),
+            max_wait_s=rng.uniform(0.0, 0.003),
+        ),
+        fault_schedule=faults,
+        retry_policy=RetryPolicy(max_attempts=rng.randint(1, 4)),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return engine.run(requests)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_span_tree_well_formed(seed):
+    tracer = Tracer(unit="s")
+    report = _chaos_run(seed, tracer=tracer)
+    assert tracer.validate() == []
+    assert tracer.open_depth == 0
+
+    roots = [s for s in tracer.spans if s.name == "request"]
+    assert all(s.parent_id is None for s in roots)
+    by_status = {"completed": 0, "dropped": 0}
+    for root in roots:
+        by_status[root.args["status"]] += 1
+        children = sorted(tracer.children_of(root), key=lambda s: s.start)
+        if root.args["status"] == "completed":
+            # queue -> compute -> dram partitions the root exactly.
+            assert [c.name for c in children] == ["queue", "compute", "dram"]
+            assert children[0].start == root.start
+            assert children[-1].end == root.end
+            for a, b in zip(children, children[1:]):
+                assert a.end == b.start
+        else:
+            assert children == []
+    assert by_status["completed"] == report.n_completed
+    assert by_status["dropped"] == report.n_dropped
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_identical_seeds_identical_trace_json(seed):
+    first = Tracer(unit="s")
+    second = Tracer(unit="s")
+    _chaos_run(seed, tracer=first)
+    _chaos_run(seed, tracer=second)
+    assert chrome_trace_json(first) == chrome_trace_json(second)
+
+
+def test_different_seeds_differ():
+    a, b = Tracer(unit="s"), Tracer(unit="s")
+    _chaos_run(0, tracer=a)
+    _chaos_run(1, tracer=b)
+    assert chrome_trace_json(a) != chrome_trace_json(b)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_tracing_never_perturbs_the_run(seed):
+    untraced = _chaos_run(seed)
+    traced = _chaos_run(seed, tracer=Tracer(unit="s"),
+                        metrics=MetricsRegistry())
+    assert traced.describe() == untraced.describe()
+    assert traced.fault_counts == untraced.fault_counts
+    assert [r.request_id for r in traced.completed] \
+        == [r.request_id for r in untraced.completed]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_metrics_match_report(seed):
+    registry = MetricsRegistry()
+    report = _chaos_run(seed, metrics=registry)
+    completed = registry.counter("serving_requests_completed", "")
+    assert completed.value() == report.n_completed
+    dropped = registry.counter("serving_requests_dropped", "")
+    assert sum(dropped.series().values()) == report.n_dropped
+    latency = registry.histogram("serving_request_latency_s", "")
+    assert latency.count() == report.n_completed
+    assert latency.sum() == pytest.approx(sum(report.latencies_s))

@@ -1,0 +1,133 @@
+"""Metrics registry: counters, gauges, histograms, null registry."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    as_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+
+    def test_labeled_series_are_independent(self):
+        c = MetricsRegistry().counter("drops", "")
+        c.inc(reason="deadline")
+        c.inc(2, reason="crash")
+        assert c.value(reason="deadline") == 1.0
+        assert c.value(reason="crash") == 2.0
+        assert c.value(reason="other") == 0.0
+        assert len(c.series()) == 2
+
+    def test_label_order_does_not_matter(self):
+        c = MetricsRegistry().counter("x", "")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x", "")
+        with pytest.raises(TraceError):
+            c.inc(-1.0)
+        with pytest.raises(TraceError):
+            c.inc(float("nan"))
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TraceError):
+            reg.counter("9starts_with_digit", "")
+        with pytest.raises(TraceError):
+            reg.counter("has-dash", "")
+        with pytest.raises(TraceError):
+            reg.counter("ok", "").inc(**{"__reserved": 1})
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = MetricsRegistry().gauge("depth", "")
+        g.set(3)
+        g.set(7, replica="r0")
+        g.set(5)
+        assert g.value() == 5.0
+        assert g.value(replica="r0") == 7.0
+
+    def test_unset_series_raises(self):
+        g = MetricsRegistry().gauge("depth", "")
+        with pytest.raises(TraceError):
+            g.value()
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_buckets(self):
+        h = MetricsRegistry().histogram("lat", "", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 1.7, 5.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(8.7)
+        assert h.cumulative_buckets() == [1, 3, 4]  # <=1, <=2, +Inf
+
+    def test_default_buckets_strictly_increasing(self):
+        buckets = Histogram.DEFAULT_BUCKETS
+        assert list(buckets) == sorted(set(buckets))
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(TraceError):
+            Histogram("h", "", buckets=(2.0, 1.0))
+        with pytest.raises(TraceError):
+            Histogram("h", "", buckets=(1.0, float("inf")))
+        with pytest.raises(TraceError):
+            Histogram("h", "", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "first help wins")
+        b = reg.counter("x", "ignored")
+        assert a is b
+        assert a.help == "first help wins"
+        assert len(reg) == 1
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "")
+        with pytest.raises(TraceError):
+            reg.gauge("x", "")
+        with pytest.raises(TraceError):
+            reg.histogram("x", "")
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta", "")
+        reg.gauge("alpha", "")
+        assert [m.name for m in reg.metrics()] == ["alpha", "zeta"]
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        reg = NullMetricsRegistry()
+        reg.counter("x", "").inc(5, reason="y")
+        reg.gauge("g", "").set(3)
+        reg.histogram("h", "").observe(1.0)
+        assert len(reg) == 0
+        assert reg.metrics() == []
+        assert not reg.enabled
+
+    def test_null_instruments_read_as_zero(self):
+        reg = NullMetricsRegistry()
+        assert reg.counter("x", "").value() == 0.0
+        assert reg.histogram("h", "").count() == 0
+
+    def test_as_metrics_normalizes(self):
+        assert as_metrics(None) is NULL_METRICS
+        real = MetricsRegistry()
+        assert as_metrics(real) is real

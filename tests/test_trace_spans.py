@@ -1,0 +1,163 @@
+"""Tracer core: nesting, retrospective spans, validation, null tracer."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.span import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    as_tracer,
+)
+
+
+class TestStackRecording:
+    def test_begin_end_nests(self):
+        tr = Tracer(unit="step")
+        outer = tr.begin("outer", at=0)
+        inner = tr.begin("inner", at=1, track="t")
+        tr.end(3, inner)
+        tr.end(5, outer)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.duration == 5
+        assert tr.validate() == []
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer().end(1.0)
+
+    def test_unbalanced_pairs_rejected(self):
+        tr = Tracer()
+        a = tr.begin("a", at=0.0)
+        tr.begin("b", at=1.0)
+        with pytest.raises(TraceError, match="unbalanced"):
+            tr.end(2.0, a)
+
+    def test_end_before_start_rejected(self):
+        tr = Tracer()
+        tr.begin("a", at=5.0)
+        with pytest.raises(TraceError):
+            tr.end(4.0)
+
+    def test_child_cannot_start_before_parent(self):
+        tr = Tracer()
+        tr.begin("parent", at=10.0)
+        with pytest.raises(TraceError):
+            tr.begin("child", at=9.0)
+
+    def test_event_attaches_to_innermost(self):
+        tr = Tracer()
+        tr.begin("outer", at=0.0)
+        inner = tr.begin("inner", at=1.0)
+        tr.event("tick", at=1.5, detail="x")
+        assert inner.events[0].name == "tick"
+        assert inner.events[0].args == {"detail": "x"}
+
+    def test_event_without_open_span_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer().event("tick", at=0.0)
+
+    def test_open_depth_tracks_stack(self):
+        tr = Tracer()
+        assert tr.open_depth == 0
+        tr.begin("a", at=0.0)
+        tr.begin("b", at=0.0)
+        assert tr.open_depth == 2
+        tr.end(1.0)
+        assert tr.open_depth == 1
+
+    def test_non_finite_timestamp_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer().begin("a", at=float("nan"))
+        with pytest.raises(TraceError):
+            Tracer().instant("i", at=float("inf"))
+
+
+class TestRetrospectiveRecording:
+    def test_add_span_with_parent(self):
+        tr = Tracer()
+        root = tr.add_span("request", 0.0, 10.0, track="requests")
+        child = tr.add_span("queue", 0.0, 4.0, parent=root)
+        assert child.parent_id == root.span_id
+        assert tr.children_of(root) == [child]
+        assert tr.validate() == []
+
+    def test_child_escaping_parent_rejected(self):
+        tr = Tracer()
+        root = tr.add_span("request", 1.0, 10.0)
+        with pytest.raises(TraceError, match="escapes"):
+            tr.add_span("queue", 0.5, 4.0, parent=root)
+        with pytest.raises(TraceError, match="escapes"):
+            tr.add_span("dram", 5.0, 11.0, parent=root)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer().add_span("x", 2.0, 1.0)
+
+    def test_zero_duration_allowed(self):
+        span = Tracer().add_span("x", 3.0, 3.0)
+        assert span.duration == 0.0
+
+    def test_siblings_may_overlap(self):
+        """Concurrent requests of one batch legitimately overlap."""
+        tr = Tracer()
+        tr.add_span("request", 0.0, 5.0)
+        tr.add_span("request", 1.0, 4.0)
+        assert tr.validate() == []
+
+
+class TestInspection:
+    def test_find_roots_by_id(self):
+        tr = Tracer()
+        a = tr.add_span("a", 0.0, 1.0)
+        b = tr.add_span("b", 0.0, 1.0)
+        tr.add_span("a", 0.5, 1.0, parent=b)
+        assert [s.span_id for s in tr.find("a")] == [a.span_id, 2]
+        assert tr.roots() == [a, b]
+        assert tr.by_id(a.span_id) is a
+        with pytest.raises(TraceError):
+            tr.by_id(99)
+
+    def test_duration_of_open_span_rejected(self):
+        tr = Tracer()
+        span = tr.begin("a", at=0.0)
+        with pytest.raises(TraceError):
+            span.duration
+
+    def test_validate_reports_unclosed(self):
+        tr = Tracer()
+        tr.begin("a", at=0.0)
+        problems = tr.validate()
+        assert len(problems) == 1
+        assert "never closed" in problems[0]
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer(unit="ms")
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tr = NullTracer()
+        span = tr.begin("a", at=0.0)
+        tr.event("e", at=0.5)
+        tr.end(1.0, span)
+        tr.add_span("b", 0.0, 1.0, parent=span)
+        tr.instant("i", at=2.0)
+        assert tr.spans == []
+        assert tr.instants == []
+        assert tr.open_depth == 0
+        assert not tr.enabled
+
+    def test_null_span_threads_as_parent(self):
+        """Call sites pass the null parent through without branching."""
+        tr = NullTracer()
+        parent = tr.add_span("request", 0.0, 1.0)
+        child = tr.add_span("queue", 5.0, 9.0, parent=parent)
+        assert child.span_id == parent.span_id == -1
+
+    def test_as_tracer_normalizes(self):
+        assert as_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert as_tracer(real) is real
