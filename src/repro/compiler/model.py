@@ -111,6 +111,116 @@ class PerformanceEstimate:
         return 2.0 * self.useful_maccs / seconds / 1e9
 
 
+@dataclass(frozen=True)
+class AbftOverhead:
+    """ABFT checksum work for one layer, priced in MACCs.
+
+    Protecting a layer adds one checksum row and one checksum column to
+    every GEMM the layer lowers to (one per channel group for CONV), so
+    the extra work is exactly
+
+    ``checksum_maccs = Σ_groups K·(rows + cols + 1)``
+
+    where ``K`` is the reduction length and ``rows × cols`` the data
+    output of one group's GEMM.  Relative to the data work ``rows·K·cols``
+    that is exactly ``1/rows + 1/cols + 1/(rows·cols)`` — the paper-style
+    intuition "one extra output row and column".  The functional ABFT
+    kernels (:mod:`repro.integrity.abft`) count the same quantity from
+    the arrays they actually compute, and the two must agree exactly.
+
+    When the schedule protects each *tile* independently (checksums
+    re-encoded per LoopX pass instead of once per layer), the rows/cols
+    shrink to the tile's and the overhead grows to ``tile_bound`` — with
+    output rows spread over TD1·TD2-style spatial tiles this is the
+    ``≲ 1/TD1 + 1/TD2`` bound.
+
+    Attributes:
+        base_maccs: Unprotected data work of the layer.
+        checksum_maccs: Extra MACCs for checksum rows/columns and the
+            cross-check term.
+        out_rows / out_cols: Data GEMM output shape (per channel group).
+        tile_rows / tile_cols: Output tile shape under the given
+            mapping (equal to ``out_rows``/``out_cols`` when the whole
+            layer is encoded at once).
+    """
+
+    base_maccs: int
+    checksum_maccs: int
+    out_rows: int
+    out_cols: int
+    tile_rows: int
+    tile_cols: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Layer-level checksum work over data work — exactly
+        ``1/rows + 1/cols + 1/(rows·cols)``."""
+        return self.checksum_maccs / self.base_maccs
+
+    @property
+    def tile_bound(self) -> float:
+        """Overhead fraction when every output tile is independently
+        encoded — the worst case a tiled schedule pays."""
+        return (
+            1.0 / self.tile_rows + 1.0 / self.tile_cols
+            + 1.0 / (self.tile_rows * self.tile_cols)
+        )
+
+    @property
+    def protected_maccs(self) -> int:
+        """Total work of the ABFT-protected layer."""
+        return self.base_maccs + self.checksum_maccs
+
+    @property
+    def throughput_factor(self) -> float:
+        """Attainable fraction of unprotected throughput when the
+        checksum work rides the same compute-bound datapath."""
+        return self.base_maccs / self.protected_maccs
+
+
+def abft_overhead(
+    layer: AcceleratedLayer,
+    mapping: MappingVectors | None = None,
+) -> AbftOverhead:
+    """Price the ABFT checksum work for ``layer``.
+
+    Without a ``mapping`` the layer is encoded once (what
+    :func:`repro.integrity.abft.abft_layer_output` measures).  With one,
+    ``tile_rows``/``tile_cols`` reflect the output tile a single LoopX
+    pass produces — spatial and temporal levels included, ``X`` excluded
+    — capping the per-tile encoding overhead via ``tile_bound``.
+    """
+    tile: dict[str, int] | None = None
+    if mapping is not None:
+        tile = mapping.tile(("D3", "D2", "D1", "L", "T"))
+    if isinstance(layer, MatMulLayer):
+        rows, cols = layer.out_features, layer.batch
+        reduction = layer.in_features
+        groups = 1
+    elif isinstance(layer, ConvLayer):
+        rows, cols = layer.group_out_channels, layer.out_h * layer.out_w
+        reduction = layer.group_in_channels * layer.kernel_h * layer.kernel_w
+        groups = layer.groups
+    else:
+        raise TypeError(f"no ABFT cost model for layer kind {layer.kind}")
+    tile_rows, tile_cols = rows, cols
+    if tile is not None:
+        if isinstance(layer, MatMulLayer):
+            tile_rows = min(rows, tile["N"])
+            tile_cols = min(cols, tile["P"])
+        else:
+            tile_rows = min(rows, tile["M"])
+            tile_cols = min(cols, tile["H"] * tile["W"])
+    return AbftOverhead(
+        base_maccs=groups * rows * reduction * cols,
+        checksum_maccs=groups * reduction * (rows + cols + 1),
+        out_rows=rows,
+        out_cols=cols,
+        tile_rows=tile_rows,
+        tile_cols=tile_cols,
+    )
+
+
 def evaluate_mapping(
     layer: AcceleratedLayer,
     config: OverlayConfig,

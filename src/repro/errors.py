@@ -20,6 +20,9 @@ Class                       Raised when
                             fault leaves the overlay with no healthy sub-grid
 :class:`RetryExhaustedError`  a request burned every dispatch attempt under
                             repeated faults (subclass of :class:`FaultError`)
+:class:`IntegrityError`     a result failed its ABFT checksum verification and
+                            could not be corrected or re-executed (subclass of
+                            :class:`FaultError`)
 :class:`TraceError`         a trace or metric is malformed (unbalanced spans,
                             non-finite timestamps, metric kind clashes)
 ==========================  =====================================================
@@ -109,6 +112,27 @@ class TraceError(FTDLError):
     """A trace or metric is malformed: unbalanced begin/end pairs, a span
     escaping its parent's interval, non-finite timestamps, or a metric
     registered under one kind and requested as another."""
+
+
+class IntegrityError(FaultError):
+    """A computed result failed its ABFT checksum verification and no
+    recovery path (correction or re-execution) was available — silent
+    data corruption would otherwise have been served.
+
+    Attributes:
+        detected: Count of non-zero checksum syndromes behind the error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        detected: int = 1,
+        replica: str | None = None,
+        at_s: float | None = None,
+    ):
+        super().__init__(message, replica=replica, at_s=at_s)
+        self.detected = detected
 
 
 class RetryExhaustedError(FaultError):

@@ -86,9 +86,25 @@ class TPEFault(FaultEvent):
 
 @dataclass(frozen=True)
 class DramBitFlip(FaultEvent):
-    """An off-chip DRAM upset; ``correctable`` means ECC absorbs it."""
+    """An off-chip DRAM upset; ``correctable`` means ECC absorbs it.
+
+    ``word_addr`` optionally pins the upset to one 16-bit word of the
+    replica's operand address space (weights followed by activations);
+    the SDC injection path (:mod:`repro.integrity.inject`) uses it to
+    decide which stored operand word the flip lands in.  ``None`` leaves
+    the site to the injector's seeded draw.
+    """
 
     correctable: bool = True
+    word_addr: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.word_addr is not None and self.word_addr < 0:
+            raise FaultError(
+                f"DRAM word address must be non-negative, got {self.word_addr}",
+                replica=self.replica, at_s=self.at_s,
+            )
 
     @property
     def kind(self) -> str:

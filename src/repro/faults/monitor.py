@@ -32,6 +32,13 @@ class HealthReport:
             count up to the end of the run).
         span_s: Monitored horizon, seconds.
         per_replica_downtime_s: Crashed seconds per replica.
+        dram_uncorrectable: DRAM upsets that escaped ECC — the silent-
+            data-corruption exposure, surfaced separately from the
+            crash/slowdown counts because the replica *stays up* through
+            one; only an integrity policy (ABFT checksums) catches the
+            corrupted results.  Reconciles with the engine's
+            ``integrity.sdc_detected`` instants: every detected-SDC
+            instant with a DRAM cause traces back to one of these.
     """
 
     n_replicas: int
@@ -42,6 +49,7 @@ class HealthReport:
     downtime_s: float
     span_s: float
     per_replica_downtime_s: dict[str, float] = field(default_factory=dict)
+    dram_uncorrectable: int = 0
 
     @property
     def uptime_fraction(self) -> float:
@@ -52,12 +60,18 @@ class HealthReport:
         return 1.0 - min(1.0, self.downtime_s / total)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.crashes} crashes / {self.slowdowns} slowdowns / "
             f"{self.recoveries} recoveries; MTTR {self.mttr_s * 1e3:.2f} ms; "
             f"uptime {self.uptime_fraction:.2%} over "
             f"{self.n_replicas} replica(s)"
         )
+        if self.dram_uncorrectable:
+            text += (
+                f"; {self.dram_uncorrectable} uncorrectable DRAM upsets "
+                f"(SDC exposure)"
+            )
+        return text
 
 
 class HealthMonitor:
@@ -83,6 +97,7 @@ class HealthMonitor:
         self.crashes = 0
         self.slowdowns = 0
         self.recoveries = 0
+        self.dram_uncorrectable = 0
 
     def _check(self, replica: str, at_s: float) -> None:
         if replica not in self._down_since:
@@ -102,6 +117,17 @@ class HealthMonitor:
         self._check(replica, at_s)
         self.slowdowns += 1
         self.tracer.instant("health.slowdown", at=at_s, track=replica)
+
+    def record_dram_uncorrectable(self, replica: str, at_s: float) -> None:
+        """Count an ECC-escaping DRAM upset on ``replica``.
+
+        These never take the replica down — they corrupt results — so
+        they are tracked apart from the crash/slowdown transitions and
+        land as ``health.sdc_exposure`` instants.
+        """
+        self._check(replica, at_s)
+        self.dram_uncorrectable += 1
+        self.tracer.instant("health.sdc_exposure", at=at_s, track=replica)
 
     def record_recovery(self, replica: str, at_s: float) -> None:
         self._check(replica, at_s)
@@ -137,4 +163,5 @@ class HealthMonitor:
             downtime_s=sum(downtime.values()),
             span_s=max(end_s - start_s, 0.0),
             per_replica_downtime_s=downtime,
+            dram_uncorrectable=self.dram_uncorrectable,
         )

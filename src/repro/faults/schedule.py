@@ -46,10 +46,73 @@ class FaultSchedule:
         return len(self.events)
 
     @classmethod
-    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
-        """Build a schedule, sorting events by (time, replica, kind)."""
+    def from_events(
+        cls,
+        events: Iterable[FaultEvent],
+        *,
+        grid: "OverlayConfig | tuple[int, int, int] | None" = None,
+        dram_words: int | None = None,
+    ) -> "FaultSchedule":
+        """Build a schedule, sorting events by (time, replica, kind).
+
+        ``grid`` (an :class:`OverlayConfig` or ``(d1, d2, d3)`` tuple)
+        and ``dram_words`` optionally pin the overlay the schedule will
+        strike: TPE fault coordinates outside the active grid and DRAM
+        word addresses past the operand address space are rejected at
+        construction instead of silently targeting hardware that does
+        not exist.
+
+        Raises:
+            FaultError: for an out-of-grid TPE coordinate or an
+                out-of-range DRAM word address.
+        """
         ordered = sorted(events, key=lambda e: (e.at_s, e.replica, e.kind))
-        return cls(events=tuple(ordered))
+        schedule = cls(events=tuple(ordered))
+        if grid is not None or dram_words is not None:
+            schedule.validate_against(grid=grid, dram_words=dram_words)
+        return schedule
+
+    def validate_against(
+        self,
+        *,
+        grid: "OverlayConfig | tuple[int, int, int] | None" = None,
+        dram_words: int | None = None,
+    ) -> "FaultSchedule":
+        """Check every event's target exists on the given overlay.
+
+        Returns self so the call chains; raises :class:`FaultError` with
+        the offending event's replica/timestamp context otherwise.
+        """
+        dims: tuple[int, int, int] | None = None
+        if isinstance(grid, OverlayConfig):
+            dims = grid.grid
+        elif grid is not None:
+            dims = (int(grid[0]), int(grid[1]), int(grid[2]))
+        if dram_words is not None and dram_words < 1:
+            raise FaultError(
+                f"dram_words must be >= 1, got {dram_words}"
+            )
+        for event in self.events:
+            if isinstance(event, TPEFault) and dims is not None:
+                d1, d2, d3 = dims
+                if (event.sb_row >= d3 or event.sb_col >= d2
+                        or event.chain_pos >= d1):
+                    raise FaultError(
+                        f"TPE fault coordinate {event.coord} outside the "
+                        f"active {d1}x{d2}x{d3} grid (sb_row < {d3}, "
+                        f"sb_col < {d2}, chain_pos < {d1})",
+                        replica=event.replica, at_s=event.at_s,
+                    )
+            elif (isinstance(event, DramBitFlip)
+                    and dram_words is not None
+                    and event.word_addr is not None
+                    and event.word_addr >= dram_words):
+                raise FaultError(
+                    f"DRAM word address {event.word_addr} outside the "
+                    f"{dram_words}-word operand space",
+                    replica=event.replica, at_s=event.at_s,
+                )
+        return self
 
     def for_replica(self, replica: str) -> "FaultSchedule":
         """The sub-schedule striking one replica."""
@@ -100,6 +163,7 @@ def generate_fault_schedule(
     stuck_fraction: float = 0.5,
     bitflip_rate_hz: float = 0.0,
     correctable_fraction: float = 0.9,
+    dram_words: int | None = None,
     link_fault_rate_hz: float = 0.0,
     metrics: MetricsRegistry | None = None,
 ) -> FaultSchedule:
@@ -123,6 +187,12 @@ def generate_fault_schedule(
             the rest transient upsets.
         bitflip_rate_hz: Per-replica DRAM upset rate;
             ``correctable_fraction`` are absorbed by ECC.
+        dram_words: Size of the per-replica operand address space, in
+            16-bit words.  When given, each bit-flip draws a word
+            address uniformly over it (and the schedule is validated
+            against the range); when ``None`` (default) addresses stay
+            unset and the draw sequence is identical to earlier
+            releases, so existing seeded schedules reproduce exactly.
         link_fault_rate_hz: Per-replica transient bus/link glitch rate.
         metrics: Optional registry; receives per-kind
             ``faults_generated`` counters for the drawn schedule.
@@ -162,6 +232,8 @@ def generate_fault_schedule(
         dims = tuple(grid)  # type: ignore[assignment]
     if tpe_fault_rate_hz > 0 and dims is None:
         raise FaultError("tpe_fault_rate_hz > 0 requires a grid")
+    if dram_words is not None and dram_words < 1:
+        raise FaultError(f"dram_words must be >= 1, got {dram_words}")
 
     rng = random.Random(seed)
     events: list[FaultEvent] = []
@@ -193,10 +265,16 @@ def generate_fault_schedule(
             events.append(DramBitFlip(
                 at_s=t, replica=replica,
                 correctable=rng.random() < correctable_fraction,
+                word_addr=(
+                    rng.randrange(dram_words)
+                    if dram_words is not None else None
+                ),
             ))
         for t in _poisson_times(rng, link_fault_rate_hz, duration_s):
             events.append(LinkFault(at_s=t, replica=replica))
-    schedule = FaultSchedule.from_events(events)
+    schedule = FaultSchedule.from_events(
+        events, grid=dims, dram_words=dram_words
+    )
     registry = as_metrics(metrics)
     if registry.enabled:
         counter = registry.counter(

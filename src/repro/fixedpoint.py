@@ -35,6 +35,55 @@ def wrap48(value: int | np.ndarray) -> int | np.ndarray:
     return int((int(value) + _ACC_HALF) % _ACC_MOD - _ACC_HALF)
 
 
+def flip_int16_bit(values: np.ndarray, flat_index: int, bit: int) -> np.ndarray:
+    """Return a copy of int16 ``values`` with one stored bit flipped.
+
+    Models a DRAM/SRAM upset on a 16-bit operand word: the flip acts on
+    the two's-complement representation, so flipping bit 15 toggles the
+    sign.
+
+    Raises:
+        ValueError: for an out-of-range index or bit position.
+    """
+    values = np.asarray(values)
+    if values.dtype != np.int16:
+        raise ValueError(f"operand flip needs int16 storage, got {values.dtype}")
+    if not 0 <= flat_index < values.size:
+        raise ValueError(
+            f"flat index {flat_index} out of range for {values.size} words"
+        )
+    if not 0 <= bit < 16:
+        raise ValueError(f"int16 bit must be in [0, 16), got {bit}")
+    out = values.copy()
+    flat = out.reshape(-1).view(np.uint16)
+    flat[flat_index] ^= np.uint16(1 << bit)
+    return out
+
+
+def flip_wrap48_bit(values: np.ndarray, flat_index: int, bit: int) -> np.ndarray:
+    """Return a copy of wrapped-48-bit ``values`` with one bit flipped.
+
+    Models an SEU in a DSP48 accumulator / PSumBUF word: the flip acts on
+    the 48-bit two's-complement representation and the result is wrapped
+    back into the signed 48-bit range.
+
+    Raises:
+        ValueError: for an out-of-range index or bit position.
+    """
+    values = np.asarray(values)
+    if not 0 <= flat_index < values.size:
+        raise ValueError(
+            f"flat index {flat_index} out of range for {values.size} words"
+        )
+    if not 0 <= bit < _ACC_BITS:
+        raise ValueError(f"accumulator bit must be in [0, 48), got {bit}")
+    out = values.astype(np.int64).copy()
+    flat = out.reshape(-1)
+    stored = int(flat[flat_index]) % _ACC_MOD  # unsigned 48-bit pattern
+    flat[flat_index] = wrap48(stored ^ (1 << bit))
+    return out
+
+
 def quantize_symmetric(real: np.ndarray, n_bits: int = 16) -> tuple[np.ndarray, float]:
     """Symmetric linear quantization of a float tensor.
 

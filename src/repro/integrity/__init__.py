@@ -1,0 +1,50 @@
+"""repro.integrity: ABFT checksums, SDC injection, and recovery policy.
+
+The overlay's fault layer (:mod:`repro.faults`) models *when* upsets
+strike; this package closes the loop on *what they do to the numbers*:
+
+* :mod:`~repro.integrity.abft` — checksum-protected golden kernels that
+  detect, localize, and (when unambiguous) correct single-element
+  corruptions under the overlay's 48-bit wrap arithmetic.
+* :mod:`~repro.integrity.inject` — maps fault events and campaign draws
+  onto concrete bit-flips in stored operands and accumulators.
+* :mod:`~repro.integrity.policy` — the serving-side escalation ladder
+  (off / detect / detect+re-execute / detect+correct).
+* :mod:`~repro.integrity.campaign` — seeded injection campaigns with
+  exact outcome accounting.
+"""
+
+from repro.integrity.abft import (
+    AbftResult,
+    abft_conv2d_int16,
+    abft_layer_output,
+    abft_matmul_int16,
+)
+from repro.integrity.campaign import SdcCampaignReport, run_sdc_campaign
+from repro.integrity.inject import (
+    SITES,
+    BitFlip,
+    draw_layer_flips,
+    flip_from_event,
+    flips_from_schedule,
+    operand_sizes,
+    split_flips,
+)
+from repro.integrity.policy import IntegrityPolicy
+
+__all__ = [
+    "AbftResult",
+    "BitFlip",
+    "IntegrityPolicy",
+    "SITES",
+    "SdcCampaignReport",
+    "abft_conv2d_int16",
+    "abft_layer_output",
+    "abft_matmul_int16",
+    "draw_layer_flips",
+    "flip_from_event",
+    "flips_from_schedule",
+    "operand_sizes",
+    "run_sdc_campaign",
+    "split_flips",
+]

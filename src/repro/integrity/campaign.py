@@ -1,0 +1,244 @@
+"""Seeded SDC injection campaigns over the ABFT-protected kernels.
+
+A campaign is the integrity analogue of the chaos harness: inject a
+known population of single bit-flips into a layer's weights,
+activations, and accumulators, run the ABFT kernel on every corrupted
+execution, and account for exactly what happened to each flip —
+detected, corrected, re-executed, missed, or benign.  Everything is
+seeded, so a campaign is a pure function of ``(layer, policy, trials,
+seed)`` and its report diffs cleanly against a golden file.
+
+Ground truth per trial comes from the *unprotected* functional path:
+:func:`~repro.sim.functional.corrupted_layer_output` under the same
+flip tells us whether the upset actually changed the result (a flip
+into an operand that multiplies only zeros is *benign* — invisible mod
+2**48 — and no checksum can or should fire on it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.integrity.abft import abft_layer_output
+from repro.integrity.inject import SITES, draw_layer_flips, split_flips
+from repro.integrity.policy import IntegrityPolicy
+from repro.sim.functional import (
+    corrupted_layer_output,
+    golden_layer_output,
+    random_layer_operands,
+)
+from repro.trace.metrics import MetricsRegistry, as_metrics
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+
+@dataclass(frozen=True)
+class SdcCampaignReport:
+    """Outcome accounting of one injection campaign.
+
+    Counter identities (checked by the test suite):
+
+    * ``n_injected == n_benign + n_corrupting``
+    * ``n_corrupting == n_detected + n_missed``
+    * ``n_detected == n_corrected + n_reexecuted + n_dropped`` (for the
+      detecting policies; under ``OFF`` nothing is detected)
+    * ``n_served_corrupt`` — corrupted results that reached the caller;
+      the whole point is driving this to zero.
+
+    Attributes:
+        layer: Layer name the campaign ran on.
+        policy: Integrity policy exercised.
+        seed: Campaign seed.
+        n_injected: Bit-flips injected (one per trial).
+        n_benign: Flips the unprotected golden path proves harmless.
+        n_corrupting: Flips that changed the unprotected result.
+        n_detected: Corrupting flips flagged by a checksum syndrome.
+        n_missed: Corrupting flips no syndrome fired on (must be 0).
+        n_corrected: Detections repaired in place from the syndromes.
+        n_reexecuted: Detections recovered by re-running the layer.
+        n_dropped: Detections surfaced as errors (policy without a
+            recovery path).
+        n_served_corrupt: Final outputs that differ from the fault-free
+            golden result.
+        n_false_alarms: Benign flips that still raised a syndrome
+            (possible when a flip changes stored words without changing
+            the wrapped data region).
+        by_site: Injected-flip count per site class.
+        detected_by_site: Detected-corruption count per site class.
+    """
+
+    layer: str
+    policy: IntegrityPolicy
+    seed: int
+    n_injected: int
+    n_benign: int
+    n_corrupting: int
+    n_detected: int
+    n_missed: int
+    n_corrected: int
+    n_reexecuted: int
+    n_dropped: int
+    n_served_corrupt: int
+    n_false_alarms: int
+    by_site: dict[str, int] = field(default_factory=dict)
+    detected_by_site: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected fraction of corrupting flips (1.0 when none)."""
+        if self.n_corrupting == 0:
+            return 1.0
+        return self.n_detected / self.n_corrupting
+
+    def describe(self) -> str:
+        lines = [
+            f"SDC campaign on {self.layer!r} "
+            f"(policy={self.policy.value}, seed={self.seed}):",
+            f"  injected {self.n_injected} flips: "
+            f"{self.n_corrupting} corrupting, {self.n_benign} benign",
+            f"  detection {self.n_detected}/{self.n_corrupting} "
+            f"({self.detection_rate:.1%}), {self.n_missed} missed",
+            f"  recovery: {self.n_corrected} corrected in place, "
+            f"{self.n_reexecuted} re-executed, {self.n_dropped} dropped",
+            f"  served corrupt: {self.n_served_corrupt}; "
+            f"false alarms: {self.n_false_alarms}",
+        ]
+        sites = ", ".join(
+            f"{site}={self.by_site.get(site, 0)}"
+            f"/{self.detected_by_site.get(site, 0)}det"
+            for site in SITES
+        )
+        lines.append(f"  by site (injected/detected): {sites}")
+        return "\n".join(lines)
+
+
+def run_sdc_campaign(
+    layer: ConvLayer | MatMulLayer,
+    *,
+    policy: "IntegrityPolicy | str" = IntegrityPolicy.DETECT_CORRECT,
+    trials: int = 200,
+    seed: int = 0,
+    site: str | None = None,
+    magnitude: int = 127,
+    metrics: MetricsRegistry | None = None,
+) -> SdcCampaignReport:
+    """Inject ``trials`` seeded single bit-flips and account for each.
+
+    Every trial draws fresh operands and one flip, establishes ground
+    truth on the unprotected kernel, then plays the flip through the
+    ABFT kernel under ``policy``.  The ABFT data region is also
+    cross-checked against the unprotected corrupted output bit for bit
+    (before any correction), tying the two injection paths together.
+
+    Args:
+        layer: CONV or MM layer to strike.
+        policy: Integrity policy (or its CLI spelling).
+        trials: Flips to inject (one per trial).
+        seed: Seeds both the operand draws and the flip draws.
+        site: Restrict strikes to one site class (``"weight"`` /
+            ``"act"`` / ``"psum"``); ``None`` distributes by bit count.
+        magnitude: Operand magnitude bound for the random draws.
+        metrics: Optional registry; receives ``sdc_injected`` /
+            ``sdc_detected`` / ``sdc_recovered`` counters.
+
+    Raises:
+        FaultError: for a non-positive trial count.
+    """
+    policy = IntegrityPolicy.parse(policy)
+    if trials < 1:
+        raise FaultError(f"campaign needs trials >= 1, got {trials}")
+    np_rng = np.random.default_rng(seed)
+    flip_rng = random.Random(seed)
+    registry = as_metrics(metrics)
+
+    n_benign = n_corrupting = n_detected = n_missed = 0
+    n_corrected = n_reexecuted = n_dropped = n_served_corrupt = 0
+    n_false_alarms = 0
+    by_site: dict[str, int] = {s: 0 for s in SITES}
+    detected_by_site: dict[str, int] = {s: 0 for s in SITES}
+
+    for _ in range(trials):
+        weights, acts = random_layer_operands(layer, np_rng, magnitude)
+        flip = draw_layer_flips(layer, flip_rng, site=site)
+        by_site[flip.site] += 1
+        w_flips, a_flips, p_flips = split_flips((flip,))
+
+        golden = golden_layer_output(layer, weights, acts)
+        corrupted = corrupted_layer_output(
+            layer, weights, acts,
+            weight_flips=w_flips, act_flips=a_flips, psum_flips=p_flips,
+        )
+        corrupting = bool(np.any(corrupted != golden))
+        if corrupting:
+            n_corrupting += 1
+        else:
+            n_benign += 1
+
+        if not policy.detects:
+            # Unprotected datapath: whatever the flip produced is served.
+            if corrupting:
+                n_served_corrupt += 1
+            continue
+
+        result = abft_layer_output(
+            layer, weights, acts,
+            weight_flips=w_flips, act_flips=a_flips, psum_flips=p_flips,
+        )
+        if not result.corrected and np.any(result.output != corrupted):
+            raise FaultError(
+                f"ABFT data region diverged from the unprotected corrupted "
+                f"output on layer {layer.name!r} ({flip.site} flip)"
+            )
+
+        if corrupting and result.detected:
+            n_detected += 1
+            detected_by_site[flip.site] += 1
+        elif corrupting:
+            n_missed += 1
+        elif result.detected:
+            n_false_alarms += 1
+
+        if result.detected:
+            if policy.corrects and result.corrected:
+                n_corrected += 1
+                served = result.output
+            elif policy.reexecutes:
+                n_reexecuted += 1
+                served = golden_layer_output(layer, weights, acts)
+            else:
+                n_dropped += 1
+                served = None
+        else:
+            served = result.output
+        if served is not None and np.any(served != golden):
+            n_served_corrupt += 1
+
+    if registry.enabled:
+        labels = {"layer": layer.name, "policy": policy.value}
+        registry.counter("sdc_injected", "bit-flips injected").inc(
+            trials, **labels)
+        registry.counter("sdc_detected", "corruptions detected").inc(
+            n_detected, **labels)
+        registry.counter("sdc_recovered", "corrected + re-executed").inc(
+            n_corrected + n_reexecuted, **labels)
+
+    return SdcCampaignReport(
+        layer=layer.name,
+        policy=policy,
+        seed=seed,
+        n_injected=trials,
+        n_benign=n_benign,
+        n_corrupting=n_corrupting,
+        n_detected=n_detected,
+        n_missed=n_missed,
+        n_corrected=n_corrected,
+        n_reexecuted=n_reexecuted,
+        n_dropped=n_dropped,
+        n_served_corrupt=n_served_corrupt,
+        n_false_alarms=n_false_alarms,
+        by_site=by_site,
+        detected_by_site=detected_by_site,
+    )

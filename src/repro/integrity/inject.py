@@ -1,0 +1,181 @@
+"""Mapping fault events onto concrete bit-flips in layer operands.
+
+The fault taxonomy says *when and where in the fleet* an upset strikes;
+this module decides *which stored bit* it lands in, so the functional
+simulation can actually corrupt data instead of abstractly poisoning a
+batch.  Two sources feed it:
+
+* :func:`flips_from_schedule` — the SDC events of a
+  :class:`~repro.faults.schedule.FaultSchedule` (uncorrectable DRAM
+  upsets and transient TPE faults) become operand / accumulator flips.
+  A :class:`~repro.faults.events.DramBitFlip` with a ``word_addr`` is
+  pinned to that word of the weights-then-activations operand space;
+  anything left open is resolved by a seeded draw, so a schedule maps
+  to the same flips every time.
+* :func:`draw_layer_flips` — campaign-style uniform sampling over a
+  chosen site class, for sweeps that want coverage rather than a
+  fleet timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.faults.events import DramBitFlip, FaultEvent, TPEFault
+from repro.faults.schedule import FaultSchedule
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+#: Site classes a flip can strike.
+SITES = ("weight", "act", "psum")
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One bit-flip at a named site of a layer's execution.
+
+    Attributes:
+        site: ``"weight"`` / ``"act"`` (stored int16 operand words) or
+            ``"psum"`` (a wrapped 48-bit output accumulator).
+        index: Flat index into the struck tensor.
+        bit: Bit position — [0, 16) for operands, [0, 48) for psums.
+    """
+
+    site: str
+    index: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultError(f"unknown flip site {self.site!r}")
+        bits = 48 if self.site == "psum" else 16
+        if not 0 <= self.bit < bits:
+            raise FaultError(
+                f"{self.site} flip bit {self.bit} out of range [0, {bits})"
+            )
+        if self.index < 0:
+            raise FaultError(f"flip index must be >= 0, got {self.index}")
+
+
+def operand_sizes(layer: ConvLayer | MatMulLayer) -> tuple[int, int, int]:
+    """(weight words, activation words, output accumulators) of a layer."""
+    if isinstance(layer, ConvLayer):
+        return (
+            layer.out_channels * layer.group_in_channels
+            * layer.kernel_h * layer.kernel_w,
+            layer.in_channels * layer.in_h * layer.in_w,
+            layer.out_channels * layer.out_h * layer.out_w,
+        )
+    if isinstance(layer, MatMulLayer):
+        return (
+            layer.out_features * layer.in_features,
+            layer.in_features * layer.batch,
+            layer.out_features * layer.batch,
+        )
+    raise FaultError(f"no operand map for layer kind {layer.kind}")
+
+
+def split_flips(
+    flips: "tuple[BitFlip, ...] | list[BitFlip]",
+) -> tuple[
+    tuple[tuple[int, int], ...],
+    tuple[tuple[int, int], ...],
+    tuple[tuple[int, int], ...],
+]:
+    """Split into the ``(weight_flips, act_flips, psum_flips)`` tuples
+    the functional kernels take."""
+    weight = tuple((f.index, f.bit) for f in flips if f.site == "weight")
+    act = tuple((f.index, f.bit) for f in flips if f.site == "act")
+    psum = tuple((f.index, f.bit) for f in flips if f.site == "psum")
+    return weight, act, psum
+
+
+def draw_layer_flips(
+    layer: ConvLayer | MatMulLayer,
+    rng: random.Random,
+    *,
+    site: str | None = None,
+) -> BitFlip:
+    """Draw one uniform bit-flip over a layer's fault sites.
+
+    With ``site=None`` the site class is chosen proportionally to its
+    bit count, so a campaign's strikes land where the bits actually
+    are — exactly how a uniform physical upset would distribute.
+    """
+    w_words, a_words, p_words = operand_sizes(layer)
+    if site is None:
+        w_bits = w_words * 16
+        a_bits = a_words * 16
+        p_bits = p_words * 48
+        pick = rng.randrange(w_bits + a_bits + p_bits)
+        if pick < w_bits:
+            site = "weight"
+        elif pick < w_bits + a_bits:
+            site = "act"
+        else:
+            site = "psum"
+    if site == "weight":
+        return BitFlip("weight", rng.randrange(w_words), rng.randrange(16))
+    if site == "act":
+        return BitFlip("act", rng.randrange(a_words), rng.randrange(16))
+    if site == "psum":
+        return BitFlip("psum", rng.randrange(p_words), rng.randrange(48))
+    raise FaultError(f"unknown flip site {site!r}")
+
+
+def flip_from_event(
+    event: FaultEvent,
+    layer: ConvLayer | MatMulLayer,
+    rng: random.Random,
+) -> BitFlip | None:
+    """The bit-flip one SDC-capable fault event inflicts on ``layer``.
+
+    * An uncorrectable :class:`DramBitFlip` strikes a stored operand
+      word.  Its ``word_addr`` (taken modulo the layer's operand space,
+      weights first, activations after) pins the word; without one the
+      word is drawn seeded.  The bit within the word is always drawn.
+    * A transient (``stuck=False``) :class:`TPEFault` strikes one
+      output accumulator — an SEU in a DSP cascade corrupts the partial
+      sum it was carrying.
+    * Everything else (correctable flips, stuck faults, crashes, …)
+      causes no silent corruption and maps to ``None``.
+    """
+    w_words, a_words, _ = operand_sizes(layer)
+    if isinstance(event, DramBitFlip) and not event.correctable:
+        if event.word_addr is not None:
+            addr = event.word_addr % (w_words + a_words)
+        else:
+            addr = rng.randrange(w_words + a_words)
+        bit = rng.randrange(16)
+        if addr < w_words:
+            return BitFlip("weight", addr, bit)
+        return BitFlip("act", addr - w_words, bit)
+    if isinstance(event, TPEFault) and not event.stuck:
+        _, _, p_words = operand_sizes(layer)
+        return BitFlip("psum", rng.randrange(p_words), rng.randrange(48))
+    return None
+
+
+def flips_from_schedule(
+    schedule: FaultSchedule,
+    layer: ConvLayer | MatMulLayer,
+    *,
+    seed: int,
+    replica: str | None = None,
+) -> tuple[BitFlip, ...]:
+    """Resolve every SDC-capable event of a schedule to a concrete flip.
+
+    Events are walked in schedule (time) order with one seeded RNG, so
+    the same ``(schedule, layer, seed)`` always yields the same flips.
+    ``replica`` restricts to one replica's events.
+    """
+    rng = random.Random(seed)
+    flips = []
+    for event in schedule.events:
+        if replica is not None and event.replica != replica:
+            continue
+        flip = flip_from_event(event, layer, rng)
+        if flip is not None:
+            flips.append(flip)
+    return tuple(flips)

@@ -1,0 +1,67 @@
+"""Serving-side integrity policies: what to do about a checksum mismatch.
+
+Kept free of heavy imports so both the serving engine and the CLI tools
+can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import IntegrityError
+
+
+class IntegrityPolicy(enum.Enum):
+    """How the serving engine treats results under SDC-capable faults.
+
+    * ``OFF`` — pre-integrity behaviour, bit for bit: the engine plays
+      the omniscient oracle and aborts the batch the moment a
+      corrupting fault fires (no checksums, no detection cost).
+    * ``DETECT`` — ABFT checksums verify every result; a corrupted
+      batch runs to completion, fails verification at retirement, and
+      is dropped (counted, never silently served).
+    * ``DETECT_REEXECUTE`` — detection plus recovery: a failed batch is
+      re-queued through the deadline-aware retry path and re-executed
+      on a healthy replica.
+    * ``DETECT_CORRECT`` — strongest: single-element accumulator
+      corruptions are repaired in place from the row/column syndromes
+      (no re-execution latency); everything else falls back to
+      re-execution.
+    """
+
+    OFF = "off"
+    DETECT = "detect"
+    DETECT_REEXECUTE = "detect-reexecute"
+    DETECT_CORRECT = "detect-correct"
+
+    @classmethod
+    def parse(cls, text: "str | IntegrityPolicy") -> "IntegrityPolicy":
+        """Accept a policy or its CLI spelling (case-insensitive,
+        ``_``/``-`` interchangeable)."""
+        if isinstance(text, cls):
+            return text
+        normalized = str(text).strip().lower().replace("_", "-")
+        for member in cls:
+            if member.value == normalized:
+                return member
+        choices = ", ".join(m.value for m in cls)
+        raise IntegrityError(
+            f"unknown integrity policy {text!r} (choose from: {choices})"
+        )
+
+    @property
+    def detects(self) -> bool:
+        """Checksums are computed and verified."""
+        return self is not IntegrityPolicy.OFF
+
+    @property
+    def reexecutes(self) -> bool:
+        """A detected-uncorrectable result is retried, not just dropped."""
+        return self in (
+            IntegrityPolicy.DETECT_REEXECUTE, IntegrityPolicy.DETECT_CORRECT,
+        )
+
+    @property
+    def corrects(self) -> bool:
+        """Localizable single-element corruptions are repaired in place."""
+        return self is IntegrityPolicy.DETECT_CORRECT

@@ -17,11 +17,15 @@ Everything runs on a deterministic virtual clock:
   graceful degradation to smaller batches under load.
 * :mod:`repro.serving.engine` — the event-driven loop, including
   fault-tolerant execution against a :class:`repro.faults.FaultSchedule`
-  (failover, deadline-aware retry, degraded-mode dispatch).
+  (failover, deadline-aware retry, degraded-mode dispatch) and
+  result-integrity handling under a
+  :class:`repro.integrity.IntegrityPolicy` (ABFT detection, in-place
+  correction, verified re-execution).
 * :mod:`repro.serving.metrics` — throughput, p50/p95/p99, utilization,
   SLO-violation, availability, and drop-reason accounting.
 """
 
+from repro.integrity.policy import IntegrityPolicy
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.batcher import (
     Batch,
@@ -56,6 +60,7 @@ __all__ = [
     "BatchServiceModel",
     "DispatchScheduler",
     "InferenceRequest",
+    "IntegrityPolicy",
     "PipelineService",
     "ReplicaService",
     "RetryPolicy",

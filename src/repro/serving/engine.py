@@ -57,6 +57,7 @@ from repro.faults.events import (
 )
 from repro.faults.monitor import HealthMonitor
 from repro.faults.schedule import FaultSchedule
+from repro.integrity.policy import IntegrityPolicy
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.batcher import Batcher, BatchPolicy
 from repro.serving.metrics import ServingReport
@@ -74,6 +75,7 @@ from repro.trace.span import Tracer, as_tracer
 DROP_DEADLINE = "deadline"
 DROP_RETRY_EXHAUSTED = "retry_exhausted"
 DROP_NO_REPLICA = "no_healthy_replica"
+DROP_SDC = "sdc_detected"
 
 
 class ServingEngine:
@@ -87,6 +89,20 @@ class ServingEngine:
         fault_schedule: Optional deterministic fault events to replay
             against the run's virtual clock.
         retry_policy: Backoff/attempt budget for fault retries.
+        integrity_policy: How silent-corruption faults (transient TPE
+            upsets, uncorrectable DRAM bit-flips) are handled.  Under
+            the default ``OFF`` the engine keeps its omniscient
+            pre-integrity behaviour — the struck batch is aborted the
+            instant the fault fires — and the run is bit-identical to
+            earlier releases.  Under a detecting policy the corruption
+            rides to the batch's *retirement*, where the ABFT checksum
+            verification catches it: the batch pays its full service
+            time, then is dropped (``DETECT``), re-executed through the
+            deadline-aware retry path (``DETECT_REEXECUTE``), or — for
+            localizable accumulator upsets — corrected in place from
+            the syndromes with no re-execution (``DETECT_CORRECT``).
+            Link faults keep the abort path under every policy: the bus
+            protocol's own CRC catches those at transfer time.
         tracer: Optional :class:`~repro.trace.span.Tracer`.  Every
             retired request emits its lifecycle span tree
             (``request`` → ``queue`` / ``compute`` / ``dram``) stamped
@@ -107,6 +123,7 @@ class ServingEngine:
         slo_s: float = 10e-3,
         fault_schedule: FaultSchedule | None = None,
         retry_policy: RetryPolicy | None = None,
+        integrity_policy: "IntegrityPolicy | str" = IntegrityPolicy.OFF,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -118,6 +135,7 @@ class ServingEngine:
         self.slo_s = slo_s
         self.fault_schedule = fault_schedule
         self.retry_policy = retry_policy or RetryPolicy()
+        self.integrity_policy = IntegrityPolicy.parse(integrity_policy)
         self.tracer = as_tracer(tracer)
         self.metrics = as_metrics(metrics)
 
@@ -154,6 +172,9 @@ class ServingEngine:
         completed: list[InferenceRequest] = []
         dropped: list[InferenceRequest] = []
         fault_counts: dict[str, int] = {}
+        policy = self.integrity_policy
+        corrupt: dict[int, str] = {}  # in-flight seq -> corruption cause
+        integrity_counts: dict[str, int] = {}
         n_retries = 0
         masked: dict[str, set] = {}  # replica -> stuck TPE coords
         depth_integral = 0.0
@@ -201,9 +222,27 @@ class ServingEngine:
                     continue
                 aborted.add(seq_id)
                 del inflight_seqs[seq_id]
+                corrupt.pop(seq_id, None)
                 scheduler.by_name(replica).aborted_batches += 1
                 for request in dispatch.batch.requests:
                     retry_or_drop(request, at_s)
+
+        def mark_corrupt(replica: str, cause: str) -> None:
+            """Silently corrupt the batches in flight on ``replica``.
+
+            Unlike :func:`abort_inflight` nothing happens *now*: the
+            batch keeps computing and the checksum verification settles
+            its fate at retirement.  A batch struck more than once
+            escalates to cause ``"multiple"`` — stacked corruptions are
+            never localizable to a single element, so correction is off
+            the table and only re-execution recovers the result.
+            """
+            for seq_id, dispatch in inflight_seqs.items():
+                if dispatch.replica != replica:
+                    continue
+                corrupt[seq_id] = (
+                    cause if seq_id not in corrupt else "multiple"
+                )
 
         def apply_fault(event: FaultEvent) -> None:
             assert monitor is not None
@@ -247,11 +286,19 @@ class ServingEngine:
                             abort_inflight(event.replica, event.at_s)
                             scheduler.crash(event.replica, event.at_s)
                             monitor.record_crash(event.replica, event.at_s)
+                elif policy.detects:
+                    mark_corrupt(event.replica, "tpe_transient")
                 else:
                     abort_inflight(event.replica, event.at_s)
             elif isinstance(event, DramBitFlip):
                 if not event.correctable:
-                    abort_inflight(event.replica, event.at_s)
+                    monitor.record_dram_uncorrectable(
+                        event.replica, event.at_s
+                    )
+                    if policy.detects:
+                        mark_corrupt(event.replica, "dram_uncorrectable")
+                    else:
+                        abort_inflight(event.replica, event.at_s)
             elif isinstance(event, LinkFault):
                 abort_inflight(event.replica, event.at_s)
             admission.fault_pressure = (
@@ -352,6 +399,60 @@ class ServingEngine:
                     aborted.discard(seq_id)
                     continue
                 del inflight_seqs[seq_id]
+                cause = corrupt.pop(seq_id, None)
+                if cause is not None:
+                    # The batch's ABFT verification fails here, after it
+                    # paid its full service time.
+                    integrity_counts["sdc_detected"] = (
+                        integrity_counts.get("sdc_detected", 0) + 1
+                    )
+                    metrics.counter(
+                        "integrity_events", "ABFT verification outcomes"
+                    ).inc(kind="sdc_detected", cause=cause)
+                    tracer.instant(
+                        "integrity.sdc_detected", at=done_s,
+                        track=dispatch.replica, cause=cause,
+                        size=dispatch.batch.size,
+                    )
+                    if policy.corrects and cause == "tpe_transient":
+                        # A lone accumulator upset: the row/column
+                        # syndromes localize it and the repaired output
+                        # re-verifies — serve the batch normally.
+                        integrity_counts["corrected"] = (
+                            integrity_counts.get("corrected", 0) + 1
+                        )
+                        metrics.counter(
+                            "integrity_events", "ABFT verification outcomes"
+                        ).inc(kind="corrected", cause=cause)
+                        tracer.instant(
+                            "integrity.corrected", at=done_s,
+                            track=dispatch.replica,
+                        )
+                    elif policy.reexecutes:
+                        integrity_counts["reexecuted"] = (
+                            integrity_counts.get("reexecuted", 0) + 1
+                        )
+                        metrics.counter(
+                            "integrity_events", "ABFT verification outcomes"
+                        ).inc(kind="reexecuted", cause=cause)
+                        tracer.instant(
+                            "integrity.reexecuted", at=done_s,
+                            track=dispatch.replica,
+                            size=dispatch.batch.size,
+                        )
+                        for req in dispatch.batch.requests:
+                            retry_or_drop(req, done_s)
+                        continue
+                    else:
+                        integrity_counts["dropped"] = (
+                            integrity_counts.get("dropped", 0) + 1
+                        )
+                        metrics.counter(
+                            "integrity_events", "ABFT verification outcomes"
+                        ).inc(kind="dropped", cause=cause)
+                        for req in dispatch.batch.requests:
+                            drop(req, DROP_SDC, done_s)
+                        continue
                 for req in dispatch.batch.requests:
                     req.complete_s = done_s
                     completed.append(req)
@@ -395,6 +496,8 @@ class ServingEngine:
             dropped=tuple(dropped),
             n_retries=n_retries,
             fault_counts=dict(sorted(fault_counts.items())),
+            integrity_policy=policy.value if policy.detects else None,
+            integrity_counts=dict(sorted(integrity_counts.items())),
             health=(
                 monitor.finalize(t_last_complete, t_start)
                 if monitor is not None else None

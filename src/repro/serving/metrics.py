@@ -52,6 +52,12 @@ class ServingReport:
         n_retries: Retry dispatches performed after faults.
         fault_counts: Injected fault events by kind (empty when the run
             had no fault schedule).
+        integrity_policy: Active ABFT policy value (``"detect"``,
+            ``"detect-reexecute"``, ``"detect-correct"``); ``None``
+            when integrity checking was off.
+        integrity_counts: ABFT verification outcomes, in batches:
+            ``sdc_detected`` (failed verifications), partitioned
+            exactly into ``corrected`` + ``reexecuted`` + ``dropped``.
         health: Replica health summary (None when no fault schedule).
     """
 
@@ -68,6 +74,8 @@ class ServingReport:
     dropped: tuple[InferenceRequest, ...] = ()
     n_retries: int = 0
     fault_counts: dict[str, int] = field(default_factory=dict)
+    integrity_policy: str | None = None
+    integrity_counts: dict[str, int] = field(default_factory=dict)
     health: HealthReport | None = None
 
     # ------------------------------------------------------------------ #
@@ -216,6 +224,15 @@ class ServingReport:
                     for kind, count in sorted(self.fault_counts.items())
                 )
                 lines.append(f"  faults         : {injected}")
+            if self.integrity_policy is not None:
+                outcomes = ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.integrity_counts.items())
+                ) or "no SDC detected"
+                lines.append(
+                    f"  integrity      : policy={self.integrity_policy}; "
+                    f"{outcomes}"
+                )
             if self.health is not None:
                 lines.append(f"  health         : {self.health.describe()}")
         for name, util in self.utilization.items():

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.fixedpoint import to_int16, wrap48
+from repro.fixedpoint import flip_int16_bit, flip_wrap48_bit, to_int16, wrap48
 from repro.workloads.layers import ConvLayer, MatMulLayer
 
 
@@ -134,6 +134,36 @@ def golden_layer_output(
             )
         return matmul_int16(weights, acts)
     raise SimulationError(f"no golden model for layer kind {layer.kind}")
+
+
+def corrupted_layer_output(
+    layer: ConvLayer | MatMulLayer,
+    weights: np.ndarray,
+    acts: np.ndarray,
+    *,
+    weight_flips: tuple[tuple[int, int], ...] = (),
+    act_flips: tuple[tuple[int, int], ...] = (),
+    psum_flips: tuple[tuple[int, int], ...] = (),
+) -> np.ndarray:
+    """Golden output under injected bit-flips — what the overlay would
+    actually produce when an SDC event strikes during execution.
+
+    Each flip is a ``(flat_index, bit)`` pair: ``weight_flips`` and
+    ``act_flips`` strike the stored int16 operand words (a DRAM upset
+    that slipped past ECC), ``psum_flips`` strike the wrapped 48-bit
+    output accumulators (a transient SEU in a TPE's DSP cascade).  With
+    no flips this is exactly :func:`golden_layer_output`.
+    """
+    weights = to_int16(weights)
+    acts = to_int16(acts)
+    for index, bit in weight_flips:
+        weights = flip_int16_bit(weights, index, bit)
+    for index, bit in act_flips:
+        acts = flip_int16_bit(acts, index, bit)
+    out = golden_layer_output(layer, weights, acts)
+    for index, bit in psum_flips:
+        out = flip_wrap48_bit(out, index, bit)
+    return out
 
 
 def random_layer_operands(

@@ -200,3 +200,87 @@ class TestGenerateFaultSchedule:
             tpe_fault_rate_hz=10.0,
         )
         assert any(isinstance(e, TPEFault) for e in sched.events)
+
+
+class TestScheduleValidation:
+    """Satellite of the integrity PR: schedules are checked against the
+    overlay they will strike, so injection campaigns fail fast on
+    impossible coordinates instead of silently missing."""
+
+    GRID = OverlayConfig(d1=3, d2=2, d3=2)
+
+    def test_out_of_grid_tpe_coord_rejected(self):
+        bad = TPEFault(0.5, "r0", sb_row=2, sb_col=0, chain_pos=0,
+                       stuck=False)
+        with pytest.raises(FaultError) as err:
+            FaultSchedule.from_events([bad], grid=self.GRID)
+        assert err.value.replica == "r0"
+        assert err.value.at_s == 0.5
+        assert "2x2" in str(err.value)
+
+    @pytest.mark.parametrize("coord", [(0, 2, 0), (0, 0, 3), (1, 5, 9)])
+    def test_each_axis_is_checked(self, coord):
+        row, col, pos = coord
+        bad = TPEFault(0.1, "r0", sb_row=row, sb_col=col, chain_pos=pos)
+        with pytest.raises(FaultError):
+            FaultSchedule.from_events([bad], grid=(3, 2, 2))
+
+    def test_in_grid_coords_pass_and_chain(self):
+        ok = TPEFault(0.1, "r0", sb_row=1, sb_col=1, chain_pos=2)
+        sched = FaultSchedule.from_events([ok], grid=self.GRID)
+        assert sched.validate_against(grid=(3, 2, 2)) is sched
+
+    def test_word_addr_beyond_operand_space_rejected(self):
+        bad = DramBitFlip(0.2, "r0", correctable=False, word_addr=64)
+        with pytest.raises(FaultError) as err:
+            FaultSchedule.from_events([bad], dram_words=64)
+        assert "64-word operand space" in str(err.value)
+        assert err.value.at_s == 0.2
+
+    def test_unpinned_word_addr_passes(self):
+        sched = FaultSchedule.from_events(
+            [DramBitFlip(0.2, "r0", correctable=False)], dram_words=4
+        )
+        assert len(sched) == 1
+
+    def test_nonpositive_dram_words_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSchedule.from_events([], dram_words=0)
+
+    def test_negative_word_addr_rejected_at_event(self):
+        with pytest.raises(FaultError):
+            DramBitFlip(0.1, "r0", correctable=False, word_addr=-1)
+
+    def test_generated_word_addrs_stay_in_range(self):
+        sched = generate_fault_schedule(
+            seed=3, duration_s=2.0, replicas=["r0", "r1"],
+            bitflip_rate_hz=40.0, correctable_fraction=0.5,
+            dram_words=17,
+        )
+        flips = [e for e in sched.events if isinstance(e, DramBitFlip)]
+        assert flips
+        assert all(f.word_addr is not None and 0 <= f.word_addr < 17
+                   for f in flips)
+
+    def test_unset_dram_words_preserves_legacy_stream(self):
+        # Backwards compatibility: without dram_words the generator must
+        # not consume extra RNG draws, so seeded schedules from before
+        # the integrity PR replay bit for bit (word_addr stays None).
+        a = generate_fault_schedule(
+            seed=9, duration_s=1.0, replicas=["r"], bitflip_rate_hz=30.0,
+        )
+        b = generate_fault_schedule(
+            seed=9, duration_s=1.0, replicas=["r"], bitflip_rate_hz=30.0,
+        )
+        assert a.events == b.events
+        assert all(e.word_addr is None for e in a.events
+                   if isinstance(e, DramBitFlip))
+
+    def test_generator_validates_its_own_output(self):
+        # The generator wires grid/dram_words straight into
+        # validate_against, so its own draws can never be out of range.
+        sched = generate_fault_schedule(
+            seed=1, duration_s=1.0, replicas=["r"], grid=self.GRID,
+            tpe_fault_rate_hz=20.0, bitflip_rate_hz=20.0, dram_words=8,
+        )
+        assert sched.validate_against(grid=self.GRID, dram_words=8) is sched

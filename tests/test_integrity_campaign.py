@@ -1,0 +1,172 @@
+"""SDC campaign acceptance: detection, recovery, and overhead agreement.
+
+The headline numbers of the integrity PR, pinned as tests:
+
+* a seeded campaign of >= 200 bit-flips detects **every** corrupting
+  single-element upset, and under detect+re-execute the served outputs
+  match the fault-free golden results bit for bit (``n_served_corrupt
+  == 0``);
+* every counter identity of :class:`SdcCampaignReport` holds exactly;
+* the compiler model's ABFT checksum-work term agrees exactly with the
+  MACCs the functional kernels measure, per layer, and the per-tile
+  bound behaves monotonically on the paper's D1=12, D2=5, D3=20 grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.model import abft_overhead
+from repro.compiler.search import schedule_layer, schedule_network
+from repro.errors import FaultError
+from repro.integrity import IntegrityPolicy, run_sdc_campaign
+from repro.integrity.abft import abft_layer_output
+from repro.overlay.config import PAPER_EXAMPLE_CONFIG
+from repro.sim.functional import random_layer_operands
+from repro.trace.metrics import MetricsRegistry
+from repro.workloads.layers import ConvLayer, MatMulLayer
+from repro.workloads.models import build_smallcnn
+
+CAMPAIGN_LAYER = ConvLayer(
+    "victim", in_channels=6, out_channels=8, in_h=10, in_w=10,
+    kernel_h=3, kernel_w=3, stride=1, padding=1,
+)
+
+
+class TestCampaignAcceptance:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_sdc_campaign(
+            CAMPAIGN_LAYER, policy=IntegrityPolicy.DETECT_REEXECUTE,
+            trials=200, seed=7,
+        )
+
+    def test_every_corrupting_flip_detected(self, report):
+        assert report.n_injected == 200
+        assert report.n_missed == 0
+        assert report.detection_rate == 1.0
+
+    def test_reexecution_serves_golden_bit_for_bit(self, report):
+        # n_served_corrupt counts any served output that differs from
+        # the fault-free golden result — zero means every re-executed
+        # result matched bit for bit.
+        assert report.n_served_corrupt == 0
+        assert report.n_reexecuted == report.n_detected
+
+    def test_counter_identities(self, report):
+        assert report.n_injected == report.n_benign + report.n_corrupting
+        assert report.n_corrupting == report.n_detected + report.n_missed
+        assert report.n_detected == (
+            report.n_corrected + report.n_reexecuted + report.n_dropped
+        )
+        assert sum(report.by_site.values()) == report.n_injected
+        assert sum(report.detected_by_site.values()) == report.n_detected
+
+    def test_campaign_is_seed_deterministic(self, report):
+        again = run_sdc_campaign(
+            CAMPAIGN_LAYER, policy="detect-reexecute", trials=200, seed=7,
+        )
+        assert again == report
+        moved = run_sdc_campaign(
+            CAMPAIGN_LAYER, policy="detect-reexecute", trials=50, seed=8,
+        )
+        assert moved.by_site != dict(
+            list(report.by_site.items())
+        ) or moved.n_detected != report.n_detected
+
+    def test_off_policy_serves_corruption(self):
+        off = run_sdc_campaign(CAMPAIGN_LAYER, policy="off", trials=50,
+                               seed=3)
+        assert off.n_detected == 0
+        assert off.n_served_corrupt == off.n_corrupting > 0
+
+    def test_correct_policy_corrects_psum_strikes(self):
+        corrected = run_sdc_campaign(
+            CAMPAIGN_LAYER, policy="detect-correct", trials=60, seed=5,
+            site="psum",
+        )
+        assert corrected.n_corrected == corrected.n_detected == 60
+        assert corrected.n_reexecuted == 0
+        assert corrected.n_served_corrupt == 0
+
+    def test_detect_policy_drops(self):
+        detect = run_sdc_campaign(
+            CAMPAIGN_LAYER, policy="detect", trials=40, seed=6,
+        )
+        assert detect.n_dropped == detect.n_detected
+        assert detect.n_served_corrupt == 0
+
+    def test_metrics_and_describe(self):
+        registry = MetricsRegistry()
+        report = run_sdc_campaign(
+            CAMPAIGN_LAYER, policy="detect-correct", trials=20, seed=1,
+            metrics=registry,
+        )
+        text = report.describe()
+        assert "detection" in text and "corrected" in text
+        from repro.trace import prometheus_text
+        rendered = prometheus_text(registry)
+        assert "sdc_injected" in rendered and "sdc_detected" in rendered
+
+    def test_invalid_args(self):
+        with pytest.raises(FaultError):
+            run_sdc_campaign(CAMPAIGN_LAYER, trials=0)
+        with pytest.raises(FaultError):
+            run_sdc_campaign(CAMPAIGN_LAYER, trials=5, site="cache")
+
+
+class TestModelMeasuredAgreement:
+    """Compiler-model ABFT overhead vs functional-kernel measurement."""
+
+    @pytest.mark.parametrize("layer", [
+        MatMulLayer("fc", in_features=32, out_features=10, batch=4),
+        CAMPAIGN_LAYER,
+        ConvLayer("dw", in_channels=8, out_channels=8, in_h=8, in_w=8,
+                  kernel_h=3, kernel_w=3, stride=1, padding=1, groups=8),
+    ], ids=lambda l: l.name)
+    def test_checksum_work_agrees_exactly(self, layer):
+        model = abft_overhead(layer)
+        rng = np.random.default_rng(11)
+        measured = abft_layer_output(layer, *random_layer_operands(layer, rng))
+        assert model.base_maccs == measured.data_maccs == layer.maccs
+        assert model.checksum_maccs == measured.checksum_maccs
+        assert model.overhead_fraction == pytest.approx(
+            measured.overhead_fraction
+        )
+
+    def test_overhead_closed_form(self):
+        layer = MatMulLayer("cf", in_features=9, out_features=16, batch=8)
+        model = abft_overhead(layer)
+        assert model.overhead_fraction == pytest.approx(
+            1 / 16 + 1 / 8 + 1 / (16 * 8)
+        )
+        assert 0.0 < model.throughput_factor < 1.0
+        assert model.protected_maccs == model.base_maccs + model.checksum_maccs
+
+    def test_tile_bound_on_paper_grid(self):
+        # Per-tile encoding can only cost more than whole-layer encoding
+        # (smaller rows/cols per checksum), and the scheduled SmallCNN
+        # layers on the paper's 12x5x20 grid must respect the bound.
+        network = build_smallcnn()
+        schedules = schedule_network(network, PAPER_EXAMPLE_CONFIG)
+        assert schedules
+        for schedule in schedules:
+            whole = abft_overhead(schedule.layer)
+            tiled = abft_overhead(schedule.layer, schedule.mapping)
+            assert tiled.tile_rows <= whole.out_rows
+            assert tiled.tile_cols <= whole.out_cols
+            assert tiled.tile_bound >= whole.overhead_fraction - 1e-12
+
+    def test_tile_dims_follow_mapping(self):
+        layer = MatMulLayer("map", in_features=64, out_features=48, batch=8)
+        schedule = schedule_layer(layer, PAPER_EXAMPLE_CONFIG)
+        tiled = abft_overhead(layer, schedule.mapping)
+        tile = schedule.mapping.tile(("D3", "D2", "D1", "L", "T"))
+        assert tiled.tile_rows == min(48, tile["N"])
+        assert tiled.tile_cols == min(8, tile["P"])
+
+    def test_rejects_ewop(self):
+        from repro.workloads.layers import EwopLayer
+        with pytest.raises(TypeError):
+            abft_overhead(EwopLayer("relu", op="relu", n_elements=10))

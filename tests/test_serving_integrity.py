@@ -1,0 +1,283 @@
+"""Serving-engine integrity policies: detection, recovery, bit-identity.
+
+The contract under test: ``IntegrityPolicy.OFF`` reproduces the
+pre-integrity engine bit for bit; detecting policies let corrupted
+batches run to completion, fail ABFT verification at retirement, and
+route them to drop / re-execute / correct-in-place; and the integrity
+counters, tracer instants, and health-monitor SDC exposure all
+reconcile exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.cache import CacheStats
+from repro.errors import IntegrityError
+from repro.faults import (
+    DramBitFlip,
+    FaultSchedule,
+    LinkFault,
+    ReplicaCrash,
+    TPEFault,
+)
+from repro.integrity import IntegrityPolicy
+from repro.serving.batcher import BatchPolicy
+from repro.serving.engine import DROP_SDC, ServingEngine
+from repro.serving.request import RetryPolicy, make_requests, uniform_arrivals
+from repro.trace import Tracer
+from repro.trace.metrics import MetricsRegistry
+
+
+class StubService:
+    """Fixed service time per batch, N replicas, TPE-degradable."""
+
+    def __init__(self, n_replicas: int = 1, service_s: float = 1e-3):
+        self.n_replicas = n_replicas
+        self._service_s = service_s
+
+    def latency_s(self, batch_size: int) -> float:
+        return self._service_s
+
+    def occupancy_s(self, batch_size: int) -> float:
+        return self._service_s
+
+    def cache_stats(self) -> CacheStats:
+        return CacheStats(hits=0, misses=0, evictions=0, size=0,
+                          max_entries=None)
+
+    def replica_names(self) -> list[str]:
+        return [f"stub{i}" for i in range(self.n_replicas)]
+
+    def degrade_slowdown(self, masked, batch_size: int) -> float:
+        return 1.0 + 0.5 * len(masked)
+
+
+TPE_UPSET = TPEFault(0.0005, "stub0", 0, 0, 0, stuck=False)
+DRAM_UPSET = DramBitFlip(0.0005, "stub0", correctable=False)
+
+
+def _run(policy, events=(TPE_UPSET,), n_requests=1, **kwargs):
+    kwargs.setdefault("batch_policy", BatchPolicy(max_batch=1,
+                                                  max_wait_s=0.0))
+    kwargs.setdefault("retry_policy", RetryPolicy())
+    engine = ServingEngine(
+        StubService(),
+        fault_schedule=FaultSchedule.from_events(list(events)),
+        integrity_policy=policy,
+        **kwargs,
+    )
+    times = [i * 5e-3 for i in range(n_requests)]
+    return engine.run(make_requests(times, "stub"))
+
+
+class TestOffIsBitIdentical:
+    """OFF must reproduce the pre-integrity engine exactly."""
+
+    def _scenario(self, **kwargs):
+        engine = ServingEngine(
+            StubService(n_replicas=2),
+            batch_policy=BatchPolicy(max_batch=4, max_wait_s=0.5e-3),
+            fault_schedule=FaultSchedule.from_events([
+                TPE_UPSET,
+                DramBitFlip(0.012, "stub1", correctable=False),
+                ReplicaCrash(0.020, "stub0"),
+            ]),
+            retry_policy=RetryPolicy(),
+            slo_s=5e-3,
+            **kwargs,
+        )
+        return engine.run(
+            make_requests(uniform_arrivals(800.0, 40), "stub",
+                          deadline_s=0.030)
+        )
+
+    def test_off_matches_default_engine(self):
+        base = self._scenario()
+        off = self._scenario(integrity_policy="off")
+        assert [r.complete_s for r in off.completed] \
+            == [r.complete_s for r in base.completed]
+        assert [r.attempts for r in off.completed] \
+            == [r.attempts for r in base.completed]
+        assert off.drop_reasons == base.drop_reasons
+        assert off.n_retries == base.n_retries
+        assert off.describe() == base.describe()
+
+    def test_off_reports_no_integrity_section(self):
+        off = self._scenario(integrity_policy=IntegrityPolicy.OFF)
+        assert off.integrity_policy is None
+        assert off.integrity_counts == {}
+        assert "integrity" not in off.describe()
+
+    def test_off_aborts_at_fault_time(self):
+        report = _run("off")
+        (req,) = report.completed
+        # The oracle abort-and-retry path: second attempt, no
+        # verification-failure accounting.
+        assert req.attempts == 2
+        assert report.integrity_counts == {}
+
+
+class TestDetectingPolicies:
+    def test_detect_drops_at_retirement(self):
+        report = _run("detect")
+        assert report.n_completed == 0
+        assert report.drop_reasons == {DROP_SDC: 1}
+        assert report.integrity_counts == {"sdc_detected": 1, "dropped": 1}
+        assert report.integrity_policy == "detect"
+        (req,) = report.dropped
+        # The batch paid its full service time before verification
+        # failed — detection happens at retirement, not at fault time —
+        # so it was dispatched normally and never marked complete.
+        assert req.drop_reason == DROP_SDC
+        assert req.dispatch_s == pytest.approx(0.0)
+        assert req.complete_s is None
+
+    def test_reexecute_completes_via_retry(self):
+        report = _run("detect-reexecute")
+        (req,) = report.completed
+        assert req.attempts == 2
+        assert report.integrity_counts == {"sdc_detected": 1,
+                                           "reexecuted": 1}
+
+    def test_correct_repairs_tpe_upset_in_place(self):
+        report = _run("detect-correct")
+        (req,) = report.completed
+        # Corrected from the syndromes: no re-execution, no extra
+        # latency beyond the verification outcome itself.
+        assert req.attempts == 1
+        assert req.complete_s == pytest.approx(1e-3)
+        assert report.integrity_counts == {"sdc_detected": 1,
+                                           "corrected": 1}
+
+    def test_correct_reexecutes_dram_corruption(self):
+        # A DRAM upset smears an operand across the whole batch — not
+        # localizable to one accumulator, so it falls back to retry.
+        report = _run("detect-correct", events=(DRAM_UPSET,))
+        (req,) = report.completed
+        assert req.attempts == 2
+        assert report.integrity_counts == {"sdc_detected": 1,
+                                           "reexecuted": 1}
+
+    def test_stacked_corruptions_never_corrected(self):
+        report = _run(
+            "detect-correct",
+            events=(TPE_UPSET,
+                    TPEFault(0.0006, "stub0", 1, 1, 1, stuck=False)),
+        )
+        (req,) = report.completed
+        assert req.attempts == 2
+        assert report.integrity_counts == {"sdc_detected": 1,
+                                           "reexecuted": 1}
+
+    def test_link_fault_keeps_abort_path(self):
+        # Link CRC already catches transfer corruption at fault time —
+        # no ABFT verdict is involved.
+        report = _run("detect-correct", events=(LinkFault(0.0005, "stub0"),))
+        (req,) = report.completed
+        assert req.attempts == 2
+        assert report.integrity_counts == {}
+
+    def test_describe_shows_integrity_line(self):
+        text = _run("detect-reexecute").describe()
+        assert "integrity" in text
+        assert "policy=detect-reexecute" in text
+        assert "sdc_detected=1" in text
+
+    def test_crash_before_retirement_supersedes_verification(self):
+        # The corrupted batch never retires: the replica crashes first,
+        # the abort path cleans up the corruption bookkeeping, and the
+        # request is retried with no integrity accounting.
+        report = _run(
+            "detect",
+            events=(TPE_UPSET, ReplicaCrash(0.0007, "stub0")),
+            retry_policy=RetryPolicy(max_attempts=4),
+        )
+        assert report.integrity_counts == {}
+        assert report.n_completed + report.n_dropped == 1
+
+
+class TestObservabilityReconciliation:
+    def _observed(self, policy):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        report = _run(
+            policy, n_requests=3,
+            events=(
+                TPE_UPSET,
+                DramBitFlip(0.0055, "stub0", correctable=False),
+                TPEFault(0.0105, "stub0", 2, 0, 0, stuck=False),
+            ),
+            tracer=tracer, metrics=metrics,
+        )
+        return report, tracer, metrics
+
+    def test_instants_match_counters(self):
+        report, tracer, _ = self._observed("detect-correct")
+        counts = report.integrity_counts
+        names = [i.name for i in tracer.instants]
+        assert names.count("integrity.sdc_detected") \
+            == counts["sdc_detected"] == 3
+        assert names.count("integrity.corrected") \
+            == counts.get("corrected", 0) == 2
+        assert names.count("integrity.reexecuted") \
+            == counts.get("reexecuted", 0) == 1
+
+    def test_metrics_counter_matches(self):
+        report, _, metrics = self._observed("detect")
+        counter = metrics.counter("integrity_events")
+        total = sum(counter.series().values())
+        assert total == report.integrity_counts["sdc_detected"] \
+            + report.integrity_counts["dropped"]
+
+    def test_health_counts_sdc_exposure(self):
+        for policy in ("off", "detect"):
+            report, tracer, _ = self._observed(policy)
+            assert report.health is not None
+            assert report.health.dram_uncorrectable == 1
+            assert report.health.dram_uncorrectable \
+                == report.fault_counts["dram_uncorrectable"]
+            exposure = [i for i in tracer.instants
+                        if i.name == "health.sdc_exposure"]
+            assert len(exposure) == 1
+            assert "uncorrectable DRAM upsets (SDC exposure)" \
+                in report.health.describe()
+
+    def test_counter_identity(self):
+        for policy in ("detect", "detect-reexecute", "detect-correct"):
+            report = _run(
+                policy, n_requests=4,
+                events=(
+                    TPE_UPSET,
+                    DramBitFlip(0.0055, "stub0", correctable=False),
+                ),
+            )
+            counts = report.integrity_counts
+            assert counts["sdc_detected"] == (
+                counts.get("corrected", 0) + counts.get("reexecuted", 0)
+                + counts.get("dropped", 0)
+            )
+
+
+class TestPolicyParsing:
+    def test_parse_spellings(self):
+        assert IntegrityPolicy.parse("Detect_Correct") \
+            is IntegrityPolicy.DETECT_CORRECT
+        assert IntegrityPolicy.parse(" off ") is IntegrityPolicy.OFF
+        assert IntegrityPolicy.parse(IntegrityPolicy.DETECT) \
+            is IntegrityPolicy.DETECT
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(IntegrityError, match="choose from"):
+            IntegrityPolicy.parse("paranoid")
+        with pytest.raises(IntegrityError):
+            ServingEngine(StubService(), integrity_policy="verify-twice")
+
+    def test_property_matrix(self):
+        assert not IntegrityPolicy.OFF.detects
+        assert IntegrityPolicy.DETECT.detects
+        assert not IntegrityPolicy.DETECT.reexecutes
+        assert IntegrityPolicy.DETECT_REEXECUTE.reexecutes
+        assert not IntegrityPolicy.DETECT_REEXECUTE.corrects
+        assert IntegrityPolicy.DETECT_CORRECT.corrects
+        assert IntegrityPolicy.DETECT_CORRECT.reexecutes
