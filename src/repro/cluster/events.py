@@ -1,0 +1,238 @@
+"""Correlated failure-domain fault events.
+
+The per-board taxonomy in :mod:`repro.faults.events` models independent
+failures; fleets die of *correlated* ones.  These events extend the same
+:class:`~repro.faults.events.FaultEvent` base — their ``replica`` field
+names the failure **domain** (a rack), not a board — so they ride inside
+an ordinary :class:`~repro.faults.schedule.FaultSchedule`, merge with
+per-board schedules via :meth:`FaultSchedule.merge`, and keep the
+``(at_s, replica, kind)`` deterministic ordering.
+
+The cluster engine fans each domain event out to the domain's member
+boards in fleet order at apply time:
+
+* :class:`RackPowerLoss` — every member board goes down at the same
+  instant; in-flight batches are lost.  :class:`RackPowerRestore`
+  brings the members back, but power loss wiped board DRAM, so each
+  board pays the compiled-schedule weight-reload cold start before it
+  is routable again.
+* :class:`NetworkPartition` — the rack's uplink drops: boards stay
+  powered but unreachable, in-flight results are lost to the router.
+  :class:`NetworkHeal` re-admits them immediately (DRAM survived, no
+  reload).
+* :class:`CorrelatedDramFault` — one failing DRAM module sprays
+  ``n_flips`` upsets across the domain's boards at one instant, drawn
+  from the event's own seed (deterministic, independent of any other
+  RNG stream).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import FaultError
+from repro.faults.events import DramBitFlip, FaultEvent
+from repro.faults.schedule import FaultSchedule, _poisson_times
+from repro.cluster.topology import FleetTopology
+
+#: Kinds of the events this module defines (a cluster engine accepts
+#: these on top of the per-board taxonomy).
+DOMAIN_EVENT_KINDS = (
+    "rack_power_loss",
+    "rack_power_restore",
+    "rack_partition",
+    "rack_heal",
+    "dram_correlated",
+)
+
+
+@dataclass(frozen=True)
+class DomainFaultEvent(FaultEvent):
+    """Base: one correlated fault striking the domain ``replica``."""
+
+    @property
+    def domain(self) -> str:
+        """Alias — for domain events ``replica`` names the domain."""
+        return self.replica
+
+
+@dataclass(frozen=True)
+class RackPowerLoss(DomainFaultEvent):
+    """Every board in the rack loses power; board DRAM is wiped."""
+
+    @property
+    def kind(self) -> str:
+        return "rack_power_loss"
+
+
+@dataclass(frozen=True)
+class RackPowerRestore(DomainFaultEvent):
+    """Power returns; members reload weights (cold start) then serve."""
+
+    @property
+    def kind(self) -> str:
+        return "rack_power_restore"
+
+
+@dataclass(frozen=True)
+class NetworkPartition(DomainFaultEvent):
+    """The rack's uplink drops: members are up but unreachable."""
+
+    @property
+    def kind(self) -> str:
+        return "rack_partition"
+
+
+@dataclass(frozen=True)
+class NetworkHeal(DomainFaultEvent):
+    """The partition heals; members re-admit with no reload."""
+
+    @property
+    def kind(self) -> str:
+        return "rack_heal"
+
+
+@dataclass(frozen=True)
+class CorrelatedDramFault(DomainFaultEvent):
+    """A failing DRAM module: ``n_flips`` upsets across the domain.
+
+    Attributes:
+        n_flips: Bit-flips sprayed at this instant.
+        correctable: Whether ECC absorbs them (a whole failing module
+            usually overwhelms ECC — the default is uncorrectable).
+        seed: Private RNG seed the fan-out draws member boards and word
+            addresses from; the draw never touches any other stream.
+        dram_words: Operand address space per board, in words; when set
+            the expanded flips carry in-range word addresses.
+    """
+
+    n_flips: int = 4
+    correctable: bool = False
+    seed: int = 0
+    dram_words: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_flips < 1:
+            raise FaultError(
+                f"n_flips must be >= 1, got {self.n_flips}",
+                replica=self.replica, at_s=self.at_s,
+            )
+        if self.dram_words is not None and self.dram_words < 1:
+            raise FaultError(
+                f"dram_words must be >= 1, got {self.dram_words}",
+                replica=self.replica, at_s=self.at_s,
+            )
+
+    @property
+    def kind(self) -> str:
+        return "dram_correlated"
+
+    def expand(self, members: Sequence[str]) -> tuple[DramBitFlip, ...]:
+        """Fan out to per-board bit-flips, deterministically.
+
+        Boards are drawn uniformly (with replacement — one module can
+        hit the same board twice) from ``members`` in the given order,
+        using only this event's seed.
+
+        Raises:
+            FaultError: if ``members`` is empty.
+        """
+        if not members:
+            raise FaultError(
+                "correlated DRAM fault has no member boards",
+                replica=self.replica, at_s=self.at_s,
+            )
+        rng = random.Random(self.seed)
+        flips = []
+        for _ in range(self.n_flips):
+            board = members[rng.randrange(len(members))]
+            flips.append(DramBitFlip(
+                at_s=self.at_s,
+                replica=board,
+                correctable=self.correctable,
+                word_addr=(
+                    rng.randrange(self.dram_words)
+                    if self.dram_words is not None else None
+                ),
+            ))
+        return tuple(flips)
+
+
+def generate_domain_fault_schedule(
+    *,
+    seed: int,
+    duration_s: float,
+    topology: FleetTopology,
+    rack_loss_rate_hz: float = 0.0,
+    mean_rack_repair_s: float = 0.1,
+    partition_rate_hz: float = 0.0,
+    mean_partition_s: float = 0.05,
+    correlated_dram_rate_hz: float = 0.0,
+    flips_per_event: int = 4,
+    correctable_fraction: float = 0.0,
+    dram_words: int | None = None,
+) -> FaultSchedule:
+    """Draw a deterministic schedule of correlated domain events.
+
+    Rates are *per rack*; each loss/partition is paired with its
+    restore/heal after an exponential repair.  The result composes with
+    a per-board :func:`~repro.faults.schedule.generate_fault_schedule`
+    through :meth:`FaultSchedule.merge` — the two generators use
+    independent seeded streams, so merging preserves both byte-for-byte.
+
+    Raises:
+        FaultError: for invalid rates, durations, or fractions.
+    """
+    if not math.isfinite(duration_s) or duration_s <= 0:
+        raise FaultError(
+            f"duration_s must be finite and positive, got {duration_s}"
+        )
+    for name, value in (
+        ("rack_loss_rate_hz", rack_loss_rate_hz),
+        ("partition_rate_hz", partition_rate_hz),
+        ("correlated_dram_rate_hz", correlated_dram_rate_hz),
+        ("mean_rack_repair_s", mean_rack_repair_s),
+        ("mean_partition_s", mean_partition_s),
+    ):
+        if not math.isfinite(value) or value < 0:
+            raise FaultError(
+                f"{name} must be finite and >= 0, got {value}"
+            )
+    if not 0.0 <= correctable_fraction <= 1.0:
+        raise FaultError(
+            f"correctable_fraction must be in [0, 1], "
+            f"got {correctable_fraction}"
+        )
+    if flips_per_event < 1:
+        raise FaultError(
+            f"flips_per_event must be >= 1, got {flips_per_event}"
+        )
+
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    # Fixed iteration order (rack order, then fault type) keeps the
+    # draw sequence deterministic, mirroring the per-board generator.
+    for rack in topology.rack_names:
+        for t in _poisson_times(rng, rack_loss_rate_hz, duration_s):
+            events.append(RackPowerLoss(at_s=t, replica=rack))
+            repair = rng.expovariate(1.0 / mean_rack_repair_s) \
+                if mean_rack_repair_s > 0 else 0.0
+            events.append(RackPowerRestore(at_s=t + repair, replica=rack))
+        for t in _poisson_times(rng, partition_rate_hz, duration_s):
+            events.append(NetworkPartition(at_s=t, replica=rack))
+            heal = rng.expovariate(1.0 / mean_partition_s) \
+                if mean_partition_s > 0 else 0.0
+            events.append(NetworkHeal(at_s=t + heal, replica=rack))
+        for t in _poisson_times(rng, correlated_dram_rate_hz, duration_s):
+            events.append(CorrelatedDramFault(
+                at_s=t, replica=rack,
+                n_flips=flips_per_event,
+                correctable=rng.random() < correctable_fraction,
+                seed=rng.randrange(2 ** 31),
+                dram_words=dram_words,
+            ))
+    return FaultSchedule.from_events(events)

@@ -1,0 +1,281 @@
+"""The self-healing global router: health-gated board placement.
+
+The router is the fleet analogue of the single-engine
+:class:`~repro.serving.scheduler.DispatchScheduler`, with a richer
+board state machine.  A board is **routable** — eligible for new work —
+only when every gate is open:
+
+* ``healthy``   — not crashed (board-level fault);
+* ``powered``   — its rack has power;
+* ``reachable`` — its rack's uplink is up (no partition);
+* ``active``    — the autoscaler has it in the serving set;
+* warm         — past its ``warm_at_s`` cold-start gate (weights
+  loaded after power restore or autoscale activation).
+
+Any gate closing *drains* the board (new work stops instantly; a
+power/partition/crash closure also aborts in-flight batches into the
+retry path); the gate re-opening re-admits it automatically.  Placement
+is lowest-index-first over routable boards, with an optional ``avoid``
+set for hedged retry placement — a retried request steers away from the
+board that just failed it when any alternative is free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.topology import FleetTopology
+from repro.errors import FaultError, ServingError
+from repro.serving.batcher import Batch
+from repro.serving.scheduler import Dispatch
+
+
+@dataclass
+class BoardState:
+    """Dispatch + gate bookkeeping for one board."""
+
+    name: str
+    rack: str
+    free_at_s: float = 0.0
+    busy_s: float = 0.0
+    batches: int = 0
+    requests: int = 0
+    healthy: bool = True
+    powered: bool = True
+    reachable: bool = True
+    active: bool = True
+    warm_at_s: float = 0.0
+    slow_factor: float = 1.0
+    degrade_factor: float = 1.0
+    crashes: int = 0
+    aborted_batches: int = 0
+
+    @property
+    def routable(self) -> bool:
+        """Whether the router may place new work here (gates only —
+        the warm-up and busy checks are time-dependent)."""
+        return (self.healthy and self.powered and self.reachable
+                and self.active)
+
+    @property
+    def up(self) -> bool:
+        """Whether the board can *finish* work (power + health +
+        network; an inactive board still completes its last batch)."""
+        return self.healthy and self.powered and self.reachable
+
+    @property
+    def service_factor(self) -> float:
+        """Combined service-time inflation for new dispatches."""
+        return self.slow_factor * self.degrade_factor
+
+    def effective_free_s(self) -> float:
+        """Earliest instant this board could start a new batch."""
+        return max(self.free_at_s, self.warm_at_s)
+
+
+class ClusterRouter:
+    """Earliest-index placement of batches onto routable boards."""
+
+    def __init__(self, topology: FleetTopology):
+        self.topology = topology
+        self.boards = [
+            BoardState(name=board.name, rack=board.rack)
+            for board in topology.boards
+        ]
+        self._by_name = {b.name: b for b in self.boards}
+        self._by_rack: dict[str, list[BoardState]] = {}
+        for board in self.boards:
+            self._by_rack.setdefault(board.rack, []).append(board)
+
+    def by_name(self, name: str) -> BoardState:
+        """Look up one board's state.
+
+        Raises:
+            FaultError: for an unknown board name.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FaultError("unknown board", replica=name) from None
+
+    def rack_boards(self, rack: str) -> list[BoardState]:
+        """Member boards of one rack, in fleet order.
+
+        Raises:
+            FaultError: for an unknown rack name.
+        """
+        try:
+            return self._by_rack[rack]
+        except KeyError:
+            raise FaultError("unknown rack", replica=rack) from None
+
+    @property
+    def n_routable(self) -> int:
+        return sum(1 for b in self.boards if b.routable)
+
+    @property
+    def n_active(self) -> int:
+        return sum(1 for b in self.boards if b.active)
+
+    @property
+    def n_up(self) -> int:
+        return sum(1 for b in self.boards if b.up)
+
+    def free_board(
+        self, now_s: float, avoid: frozenset[str] = frozenset()
+    ) -> BoardState | None:
+        """The lowest-index routable board free at ``now_s``.
+
+        Boards named in ``avoid`` (hedged placement after a failure)
+        are skipped when any other candidate is free, and used as a
+        last resort otherwise.
+        """
+        fallback = None
+        for board in self.boards:
+            if board.routable and board.effective_free_s() <= now_s:
+                if board.name not in avoid:
+                    return board
+                if fallback is None:
+                    fallback = board
+        return fallback
+
+    def next_free_s(self) -> float:
+        """Earliest instant a routable board frees (inf if none)."""
+        return min(
+            (b.effective_free_s() for b in self.boards if b.routable),
+            default=math.inf,
+        )
+
+    def standby_boards(self) -> list[BoardState]:
+        """Inactive boards the autoscaler could activate, fleet order."""
+        return [b for b in self.boards if not b.active and b.up]
+
+    # ------------------------------------------------------------- gates
+    def _take_down(self, board: BoardState, now_s: float) -> None:
+        """Roll back unfinished busy time when a board stops serving."""
+        if board.free_at_s > now_s:
+            board.busy_s -= board.free_at_s - now_s
+            board.free_at_s = now_s
+
+    def crash(self, name: str, now_s: float) -> BoardState:
+        board = self.by_name(name)
+        if board.healthy:
+            board.healthy = False
+            board.crashes += 1
+            self._take_down(board, now_s)
+        return board
+
+    def recover(self, name: str, now_s: float) -> BoardState:
+        board = self.by_name(name)
+        if not board.healthy:
+            board.healthy = True
+            board.free_at_s = max(board.free_at_s, now_s)
+        board.slow_factor = 1.0
+        return board
+
+    def power_down_rack(self, rack: str, now_s: float) -> list[BoardState]:
+        """Close the power gate on every member (DRAM is lost)."""
+        struck = []
+        for board in self.rack_boards(rack):
+            if board.powered:
+                board.powered = False
+                self._take_down(board, now_s)
+                struck.append(board)
+        return struck
+
+    def power_up_rack(
+        self, rack: str, now_s: float, cold_start_s: float
+    ) -> list[BoardState]:
+        """Reopen the power gate; members warm up for ``cold_start_s``."""
+        restored = []
+        for board in self.rack_boards(rack):
+            if not board.powered:
+                board.powered = True
+                board.free_at_s = max(board.free_at_s, now_s)
+                board.warm_at_s = now_s + cold_start_s
+                restored.append(board)
+        return restored
+
+    def partition_rack(self, rack: str, now_s: float) -> list[BoardState]:
+        """Close the network gate on every member."""
+        struck = []
+        for board in self.rack_boards(rack):
+            if board.reachable:
+                board.reachable = False
+                self._take_down(board, now_s)
+                struck.append(board)
+        return struck
+
+    def heal_rack(self, rack: str, now_s: float) -> list[BoardState]:
+        """Reopen the network gate; DRAM survived, no warm-up."""
+        healed = []
+        for board in self.rack_boards(rack):
+            if not board.reachable:
+                board.reachable = True
+                board.free_at_s = max(board.free_at_s, now_s)
+                healed.append(board)
+        return healed
+
+    def activate(
+        self, name: str, now_s: float, cold_start_s: float
+    ) -> BoardState:
+        """Autoscale a standby board in (pays the cold start)."""
+        board = self.by_name(name)
+        if not board.active:
+            board.active = True
+            board.free_at_s = max(board.free_at_s, now_s)
+            board.warm_at_s = now_s + cold_start_s
+        return board
+
+    def deactivate(self, name: str) -> BoardState:
+        """Autoscale a board out: no new work, in-flight completes."""
+        board = self.by_name(name)
+        board.active = False
+        return board
+
+    # ---------------------------------------------------------- dispatch
+    def dispatch(
+        self,
+        board: BoardState,
+        batch: Batch,
+        now_s: float,
+        occupancy_s: float,
+        latency_s: float,
+    ) -> Dispatch:
+        """Place ``batch`` on ``board`` starting at ``now_s``.
+
+        Raises:
+            ServingError: if the board is not routable or still busy.
+        """
+        if not board.routable:
+            raise ServingError(f"board {board.name} is not routable")
+        if board.effective_free_s() > now_s:
+            raise ServingError(
+                f"board {board.name} busy or warming until "
+                f"{board.effective_free_s():.6f}"
+            )
+        board.free_at_s = now_s + occupancy_s
+        board.busy_s += occupancy_s
+        board.batches += 1
+        board.requests += batch.size
+        return Dispatch(
+            batch=batch,
+            replica=board.name,
+            start_s=now_s,
+            complete_s=now_s + latency_s,
+        )
+
+    def utilization(self, makespan_s: float) -> dict[str, float]:
+        """Busy fraction per board over the run's makespan."""
+        if makespan_s <= 0:
+            return {b.name: 0.0 for b in self.boards}
+        return {b.name: b.busy_s / makespan_s for b in self.boards}
+
+    def rack_utilization(self, makespan_s: float) -> dict[str, float]:
+        """Mean member busy fraction per rack over the makespan."""
+        util = self.utilization(makespan_s)
+        return {
+            rack: sum(util[b.name] for b in boards) / len(boards)
+            for rack, boards in self._by_rack.items()
+        }

@@ -37,10 +37,11 @@ from repro.faults.schedule import (
 )
 from repro.faults.mask import FaultMask, largest_healthy_subgrid
 from repro.faults.degrade import DegradationReport, degraded_compile
-from repro.faults.monitor import HealthMonitor, HealthReport
+from repro.faults.monitor import DomainHealth, HealthMonitor, HealthReport
 
 __all__ = [
     "DegradationReport",
+    "DomainHealth",
     "DramBitFlip",
     "FaultEvent",
     "FaultMask",

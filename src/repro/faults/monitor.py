@@ -11,10 +11,51 @@ replica-level availability is uptime over replica-seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.errors import FaultError
 from repro.trace.span import Tracer, as_tracer
+
+
+@dataclass(frozen=True)
+class DomainHealth:
+    """Health roll-up for one failure domain (a rack or a board group).
+
+    A domain's downtime is the sum of its members' crashed
+    replica-seconds, its MTTR the mean over its members' *completed*
+    repair intervals, and its availability the healthy share of its
+    member-seconds — so a rack that lost power shows up as one domain
+    with every member's outage attributed to it, while the fleet-wide
+    numbers stay exactly what the per-replica accounting says.
+    Uncorrectable-DRAM exposure likewise rolls up to the owning domain.
+    """
+
+    domain: str
+    n_members: int
+    crashes: int
+    recoveries: int
+    mttr_s: float
+    downtime_s: float
+    span_s: float
+    dram_uncorrectable: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Healthy share of the domain's member-seconds."""
+        total = self.n_members * self.span_s
+        if total <= 0:
+            return 1.0
+        return 1.0 - min(1.0, self.downtime_s / total)
+
+    def describe(self) -> str:
+        text = (
+            f"{self.domain}: {self.availability:.2%} avail over "
+            f"{self.n_members} member(s), {self.crashes} crashes, "
+            f"MTTR {self.mttr_s * 1e3:.2f} ms"
+        )
+        if self.dram_uncorrectable:
+            text += f", {self.dram_uncorrectable} SDC exposures"
+        return text
 
 
 @dataclass(frozen=True)
@@ -50,6 +91,7 @@ class HealthReport:
     span_s: float
     per_replica_downtime_s: dict[str, float] = field(default_factory=dict)
     dram_uncorrectable: int = 0
+    per_domain: dict[str, DomainHealth] = field(default_factory=dict)
 
     @property
     def uptime_fraction(self) -> float:
@@ -71,6 +113,15 @@ class HealthReport:
                 f"; {self.dram_uncorrectable} uncorrectable DRAM upsets "
                 f"(SDC exposure)"
             )
+        if self.per_domain:
+            worst = min(
+                self.per_domain.values(),
+                key=lambda d: (d.availability, d.domain),
+            )
+            text += (
+                f"; {len(self.per_domain)} domains, worst "
+                f"{worst.describe()}"
+            )
         return text
 
 
@@ -85,7 +136,8 @@ class HealthMonitor:
     """
 
     def __init__(self, replicas: Sequence[str],
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 domains: Mapping[str, str] | None = None):
         if not replicas:
             raise FaultError("health monitor needs at least one replica")
         self.tracer = as_tracer(tracer)
@@ -94,6 +146,18 @@ class HealthMonitor:
         }
         self._downtime: dict[str, float] = {name: 0.0 for name in replicas}
         self._repairs: list[float] = []
+        self._repairs_by: dict[str, list[float]] = {
+            name: [] for name in replicas
+        }
+        self._crashes_by: dict[str, int] = {name: 0 for name in replicas}
+        self._recoveries_by: dict[str, int] = {name: 0 for name in replicas}
+        self._dram_by: dict[str, int] = {name: 0 for name in replicas}
+        self._domains = dict(domains) if domains else {}
+        for name in self._domains:
+            if name not in self._down_since:
+                raise FaultError(
+                    "domain mapping names unmonitored replica", replica=name
+                )
         self.crashes = 0
         self.slowdowns = 0
         self.recoveries = 0
@@ -111,6 +175,7 @@ class HealthMonitor:
         if self._down_since[replica] is None:
             self._down_since[replica] = at_s
             self.crashes += 1
+            self._crashes_by[replica] += 1
             self.tracer.instant("health.down", at=at_s, track=replica)
 
     def record_slowdown(self, replica: str, at_s: float) -> None:
@@ -127,6 +192,7 @@ class HealthMonitor:
         """
         self._check(replica, at_s)
         self.dram_uncorrectable += 1
+        self._dram_by[replica] += 1
         self.tracer.instant("health.sdc_exposure", at=at_s, track=replica)
 
     def record_recovery(self, replica: str, at_s: float) -> None:
@@ -134,6 +200,7 @@ class HealthMonitor:
         down_since = self._down_since[replica]
         if down_since is not None:
             self._repairs.append(at_s - down_since)
+            self._repairs_by[replica].append(at_s - down_since)
             self._downtime[replica] += at_s - down_since
             self._down_since[replica] = None
             self.tracer.instant(
@@ -141,6 +208,7 @@ class HealthMonitor:
                 repair_s=at_s - down_since,
             )
         self.recoveries += 1
+        self._recoveries_by[replica] += 1
 
     def finalize(self, end_s: float, start_s: float = 0.0) -> HealthReport:
         """Close open downtime intervals at ``end_s`` and snapshot.
@@ -154,6 +222,7 @@ class HealthMonitor:
                 downtime[replica] += end_s - down_since
         mttr = sum(self._repairs) / len(self._repairs) \
             if self._repairs else 0.0
+        span = max(end_s - start_s, 0.0)
         return HealthReport(
             n_replicas=len(downtime),
             crashes=self.crashes,
@@ -161,7 +230,35 @@ class HealthMonitor:
             recoveries=self.recoveries,
             mttr_s=mttr,
             downtime_s=sum(downtime.values()),
-            span_s=max(end_s - start_s, 0.0),
+            span_s=span,
             per_replica_downtime_s=downtime,
             dram_uncorrectable=self.dram_uncorrectable,
+            per_domain=self._finalize_domains(downtime, span),
         )
+
+    def _finalize_domains(
+        self, downtime: Mapping[str, float], span_s: float
+    ) -> dict[str, DomainHealth]:
+        """Roll per-replica accounting up to the configured domains."""
+        if not self._domains:
+            return {}
+        members: dict[str, list[str]] = {}
+        for replica, domain in self._domains.items():
+            members.setdefault(domain, []).append(replica)
+        out: dict[str, DomainHealth] = {}
+        for domain in sorted(members):
+            names = members[domain]
+            repairs = [
+                r for name in names for r in self._repairs_by[name]
+            ]
+            out[domain] = DomainHealth(
+                domain=domain,
+                n_members=len(names),
+                crashes=sum(self._crashes_by[n] for n in names),
+                recoveries=sum(self._recoveries_by[n] for n in names),
+                mttr_s=sum(repairs) / len(repairs) if repairs else 0.0,
+                downtime_s=sum(downtime[n] for n in names),
+                span_s=span_s,
+                dram_uncorrectable=sum(self._dram_by[n] for n in names),
+            )
+        return out

@@ -120,6 +120,30 @@ class FaultSchedule:
             events=tuple(e for e in self.events if e.replica == replica)
         )
 
+    @classmethod
+    def merge(cls, *schedules: "FaultSchedule") -> "FaultSchedule":
+        """Compose schedules into one, with deterministic event order.
+
+        Events are ordered by ``(at_s, replica, kind)`` — the same key
+        :meth:`from_events` sorts by — with ties broken *stably* by the
+        position of the source schedule in the argument list and the
+        event's position within it.  Merging is therefore associative
+        for distinct keys and reproducible for identical ones, so
+        per-rack and per-board schedules compose into one fleet
+        schedule without perturbing either input's internal order.
+
+        Merging never draws from an RNG: the inputs' seeded streams
+        (e.g. :func:`generate_fault_schedule` output) pass through
+        byte-for-byte.
+        """
+        if not schedules:
+            return cls(events=())
+        combined = [
+            event for schedule in schedules for event in schedule.events
+        ]
+        combined.sort(key=lambda e: (e.at_s, e.replica, e.kind))
+        return cls(events=tuple(combined))
+
     def counts(self) -> dict[str, int]:
         """Event count per fault kind, sorted by kind."""
         out: dict[str, int] = {}

@@ -506,48 +506,60 @@ class ServingEngine:
 
     def _trace_batch(self, tracer: Tracer, dispatch: Dispatch,
                      done_s: float) -> None:
-        """Emit a retired batch's span and its requests' lifecycle trees.
+        trace_retired_batch(self.service, tracer, dispatch, done_s)
 
-        Timestamps are the exact virtual-clock instants the engine
-        already stamped on the requests, so every ``request`` root
-        span's duration *is* that request's end-to-end latency, and the
-        ``queue`` / ``compute`` / ``dram`` children partition it.  The
-        compute/DRAM boundary applies the service model's healthy
-        compute fraction to the batch's actual (possibly slowdown- or
-        degrade-inflated) service interval.
-        """
-        batch = dispatch.batch
-        tracer.add_span(
-            "batch", dispatch.start_s, done_s, track=dispatch.replica,
-            size=batch.size,
+
+def trace_retired_batch(
+    service: ReplicaService | PipelineService,
+    tracer: Tracer,
+    dispatch: Dispatch,
+    done_s: float,
+) -> None:
+    """Emit a retired batch's span and its requests' lifecycle trees.
+
+    Timestamps are the exact virtual-clock instants the engine
+    already stamped on the requests, so every ``request`` root
+    span's duration *is* that request's end-to-end latency, and the
+    ``queue`` / ``compute`` / ``dram`` children partition it.  The
+    compute/DRAM boundary applies the service model's healthy
+    compute fraction to the batch's actual (possibly slowdown- or
+    degrade-inflated) service interval.
+
+    Shared by the single-engine and cluster event loops, so fleet
+    traces carry identical lifecycle trees.
+    """
+    batch = dispatch.batch
+    tracer.add_span(
+        "batch", dispatch.start_s, done_s, track=dispatch.replica,
+        size=batch.size,
+    )
+    split = getattr(service, "latency_split", None)
+    compute_s, transfer_s = split(batch.size) if split else (1.0, 0.0)
+    total = compute_s + transfer_s
+    frac = compute_s / total if total > 0 else 1.0
+    for req in batch.requests:
+        root = tracer.add_span(
+            "request", req.arrival_s, done_s, track="requests",
+            id=req.request_id, status="completed",
+            replica=dispatch.replica, batch=batch.size,
+            attempts=req.attempts,
         )
-        split = getattr(self.service, "latency_split", None)
-        compute_s, transfer_s = split(batch.size) if split else (1.0, 0.0)
-        total = compute_s + transfer_s
-        frac = compute_s / total if total > 0 else 1.0
-        for req in batch.requests:
-            root = tracer.add_span(
-                "request", req.arrival_s, done_s, track="requests",
-                id=req.request_id, status="completed",
-                replica=dispatch.replica, batch=batch.size,
-                attempts=req.attempts,
-            )
-            dispatch_s = req.dispatch_s
-            assert dispatch_s is not None
-            tracer.add_span(
-                "queue", req.arrival_s, dispatch_s, parent=root,
-                track="requests", id=req.request_id,
-            )
-            # min() guards the last-ulp case where frac == 1.0 and the
-            # add rounds a hair past done_s.
-            compute_end = min(
-                dispatch_s + (done_s - dispatch_s) * frac, done_s
-            )
-            tracer.add_span(
-                "compute", dispatch_s, compute_end, parent=root,
-                track="requests", id=req.request_id,
-            )
-            tracer.add_span(
-                "dram", compute_end, done_s, parent=root,
-                track="requests", id=req.request_id,
-            )
+        dispatch_s = req.dispatch_s
+        assert dispatch_s is not None
+        tracer.add_span(
+            "queue", req.arrival_s, dispatch_s, parent=root,
+            track="requests", id=req.request_id,
+        )
+        # min() guards the last-ulp case where frac == 1.0 and the
+        # add rounds a hair past done_s.
+        compute_end = min(
+            dispatch_s + (done_s - dispatch_s) * frac, done_s
+        )
+        tracer.add_span(
+            "compute", dispatch_s, compute_end, parent=root,
+            track="requests", id=req.request_id,
+        )
+        tracer.add_span(
+            "dram", compute_end, done_s, parent=root,
+            track="requests", id=req.request_id,
+        )

@@ -54,6 +54,9 @@ class InferenceRequest:
             retried after a fault).
         drop_reason: Why the request was dropped (``None`` if it was
             not), e.g. ``"deadline"`` or ``"retry_exhausted"``.
+        tenant: Owning tenant for fleet-scale fair-share admission
+            (:mod:`repro.cluster`); single-engine runs leave the
+            default and behave exactly as before.
     """
 
     request_id: int
@@ -66,6 +69,7 @@ class InferenceRequest:
     replica: str = field(default="", compare=False)
     attempts: int = field(default=0, compare=False)
     drop_reason: str | None = field(default=None, compare=False)
+    tenant: str = field(default="default", compare=False)
 
     def __post_init__(self) -> None:
         require_finite("arrival_s", self.arrival_s)

@@ -1,0 +1,184 @@
+"""Correlated failure-domain events and the domain schedule generator."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    DOMAIN_EVENT_KINDS,
+    CorrelatedDramFault,
+    DomainFaultEvent,
+    NetworkHeal,
+    NetworkPartition,
+    RackPowerLoss,
+    RackPowerRestore,
+    build_fleet,
+    generate_domain_fault_schedule,
+)
+from repro.errors import FaultError
+from repro.faults import FaultSchedule, generate_fault_schedule
+from repro.faults.events import DramBitFlip, FaultEvent
+
+
+class TestDomainEvents:
+    def test_kinds(self):
+        assert RackPowerLoss(0.0, "r").kind == "rack_power_loss"
+        assert RackPowerRestore(0.0, "r").kind == "rack_power_restore"
+        assert NetworkPartition(0.0, "r").kind == "rack_partition"
+        assert NetworkHeal(0.0, "r").kind == "rack_heal"
+        assert CorrelatedDramFault(0.0, "r").kind == "dram_correlated"
+        for event in (RackPowerLoss(0.0, "r"),
+                      CorrelatedDramFault(0.0, "r")):
+            assert event.kind in DOMAIN_EVENT_KINDS
+
+    def test_domain_alias(self):
+        event = RackPowerLoss(1.0, "rack3")
+        assert isinstance(event, DomainFaultEvent)
+        assert isinstance(event, FaultEvent)
+        assert event.domain == event.replica == "rack3"
+
+    def test_rides_in_a_fault_schedule(self):
+        sched = FaultSchedule.from_events([
+            RackPowerRestore(2.0, "rack0"),
+            RackPowerLoss(1.0, "rack0"),
+        ])
+        assert [e.kind for e in sched.events] == \
+            ["rack_power_loss", "rack_power_restore"]
+        assert sched.counts() == {
+            "rack_power_loss": 1, "rack_power_restore": 1,
+        }
+
+    def test_invalid_timestamp_rejected(self):
+        with pytest.raises(FaultError):
+            RackPowerLoss(-1.0, "r")
+        with pytest.raises(FaultError):
+            NetworkPartition(math.nan, "r")
+
+
+class TestCorrelatedDramFault:
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            CorrelatedDramFault(0.0, "r", n_flips=0)
+        with pytest.raises(FaultError):
+            CorrelatedDramFault(0.0, "r", dram_words=0)
+
+    def test_expand_is_deterministic(self):
+        event = CorrelatedDramFault(0.5, "r", n_flips=6, seed=42)
+        members = ["b0", "b1", "b2"]
+        assert event.expand(members) == event.expand(members)
+
+    def test_expand_seed_changes_draw(self):
+        members = ["b0", "b1", "b2", "b3"]
+        a = CorrelatedDramFault(0.5, "r", n_flips=6, seed=1).expand(members)
+        b = CorrelatedDramFault(0.5, "r", n_flips=6, seed=2).expand(members)
+        assert a != b
+
+    def test_expand_targets_members_at_event_instant(self):
+        event = CorrelatedDramFault(
+            0.5, "r", n_flips=8, seed=3, dram_words=32, correctable=True,
+        )
+        flips = event.expand(["b0", "b1"])
+        assert len(flips) == 8
+        for flip in flips:
+            assert isinstance(flip, DramBitFlip)
+            assert flip.at_s == 0.5
+            assert flip.replica in ("b0", "b1")
+            assert flip.correctable
+            assert flip.word_addr is not None and 0 <= flip.word_addr < 32
+
+    def test_expand_without_dram_words_leaves_addr_unpinned(self):
+        flips = CorrelatedDramFault(0.5, "r", n_flips=2).expand(["b0"])
+        assert all(f.word_addr is None for f in flips)
+        assert all(not f.correctable for f in flips)
+
+    def test_expand_empty_members_rejected(self):
+        with pytest.raises(FaultError):
+            CorrelatedDramFault(0.5, "r").expand([])
+
+
+class TestGenerateDomainFaultSchedule:
+    FLEET = build_fleet(3, 2)
+    KW = dict(duration_s=2.0, rack_loss_rate_hz=3.0,
+              partition_rate_hz=2.0, correlated_dram_rate_hz=1.0)
+
+    def test_identical_seed_bit_identical(self):
+        a = generate_domain_fault_schedule(
+            seed=7, topology=self.FLEET, **self.KW)
+        b = generate_domain_fault_schedule(
+            seed=7, topology=self.FLEET, **self.KW)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = generate_domain_fault_schedule(
+            seed=7, topology=self.FLEET, **self.KW)
+        b = generate_domain_fault_schedule(
+            seed=8, topology=self.FLEET, **self.KW)
+        assert a != b
+
+    def test_losses_paired_with_restores(self):
+        sched = generate_domain_fault_schedule(
+            seed=0, duration_s=4.0, topology=self.FLEET,
+            rack_loss_rate_hz=5.0, partition_rate_hz=3.0,
+        )
+        counts = sched.counts()
+        assert counts.get("rack_power_loss", 0) > 0
+        assert counts["rack_power_restore"] == counts["rack_power_loss"]
+        assert counts["rack_heal"] == counts["rack_partition"]
+
+    def test_events_target_racks_not_boards(self):
+        sched = generate_domain_fault_schedule(
+            seed=1, duration_s=4.0, topology=self.FLEET,
+            rack_loss_rate_hz=5.0,
+        )
+        assert sched.events
+        assert all(e.replica in self.FLEET.rack_names
+                   for e in sched.events)
+
+    def test_dram_words_pin_addresses(self):
+        sched = generate_domain_fault_schedule(
+            seed=2, duration_s=8.0, topology=self.FLEET,
+            correlated_dram_rate_hz=2.0, dram_words=16,
+            correctable_fraction=1.0, flips_per_event=3,
+        )
+        events = [e for e in sched.events
+                  if isinstance(e, CorrelatedDramFault)]
+        assert events
+        for event in events:
+            assert event.correctable
+            flips = event.expand(self.FLEET.members(event.domain))
+            assert all(0 <= f.word_addr < 16 for f in flips)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(duration_s=0.0),
+        dict(duration_s=math.nan),
+        dict(duration_s=1.0, rack_loss_rate_hz=-1.0),
+        dict(duration_s=1.0, mean_rack_repair_s=math.inf),
+        dict(duration_s=1.0, correctable_fraction=1.5),
+        dict(duration_s=1.0, flips_per_event=0),
+    ])
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(FaultError):
+            generate_domain_fault_schedule(
+                seed=0, topology=self.FLEET, **kwargs)
+
+    def test_zero_rates_yield_empty_schedule(self):
+        sched = generate_domain_fault_schedule(
+            seed=0, duration_s=1.0, topology=self.FLEET)
+        assert len(sched) == 0
+
+    def test_merges_with_per_board_schedule_byte_for_byte(self):
+        domain = generate_domain_fault_schedule(
+            seed=3, duration_s=1.0, topology=self.FLEET,
+            rack_loss_rate_hz=4.0,
+        )
+        board = generate_fault_schedule(
+            seed=4, duration_s=1.0,
+            replicas=list(self.FLEET.board_names), crash_rate_hz=8.0,
+        )
+        merged = FaultSchedule.merge(domain, board)
+        assert len(merged) == len(domain) + len(board)
+        # Both seeded streams pass through unperturbed.
+        assert [e for e in merged.events if e.replica
+                in self.FLEET.rack_names] == list(domain.events)
+        assert [e for e in merged.events if e.replica
+                not in self.FLEET.rack_names] == list(board.events)

@@ -284,3 +284,74 @@ class TestScheduleValidation:
             tpe_fault_rate_hz=20.0, bitflip_rate_hz=20.0, dram_words=8,
         )
         assert sched.validate_against(grid=self.GRID, dram_words=8) is sched
+
+
+class TestMerge:
+    """Satellite of the cluster PR: deterministic schedule composition."""
+
+    def test_empty_merge(self):
+        assert FaultSchedule.merge() == FaultSchedule(events=())
+        empty = FaultSchedule(events=())
+        assert FaultSchedule.merge(empty, empty).events == ()
+
+    def test_orders_by_time_replica_kind(self):
+        a = FaultSchedule.from_events([
+            ReplicaCrash(1.0, "b"), LinkFault(3.0, "a"),
+        ])
+        b = FaultSchedule.from_events([
+            ReplicaCrash(1.0, "a"), ReplicaRecovery(2.0, "b"),
+        ])
+        merged = FaultSchedule.merge(a, b)
+        assert [(e.at_s, e.replica, e.kind) for e in merged.events] == [
+            (1.0, "a", "crash"), (1.0, "b", "crash"),
+            (2.0, "b", "recovery"), (3.0, "a", "link"),
+        ]
+
+    def test_stable_for_identical_keys(self):
+        # Same (at_s, replica, kind): argument order is the tiebreak.
+        first = ReplicaSlowdown(1.0, "r", factor=2.0)
+        second = ReplicaSlowdown(1.0, "r", factor=8.0)
+        merged = FaultSchedule.merge(
+            FaultSchedule.from_events([first]),
+            FaultSchedule.from_events([second]),
+        )
+        assert merged.events[0].factor == 2.0
+        assert merged.events[1].factor == 8.0
+
+    def test_preserves_generated_streams_byte_for_byte(self):
+        a = generate_fault_schedule(
+            seed=1, duration_s=1.0, replicas=["a0", "a1"],
+            crash_rate_hz=6.0, bitflip_rate_hz=10.0,
+        )
+        b = generate_fault_schedule(
+            seed=2, duration_s=1.0, replicas=["b0"],
+            crash_rate_hz=6.0, slowdown_rate_hz=4.0,
+        )
+        merged = FaultSchedule.merge(a, b)
+        assert len(merged) == len(a) + len(b)
+        assert [e for e in merged.events if e.replica.startswith("a")] \
+            == list(a.events)
+        assert [e for e in merged.events if e.replica.startswith("b")] \
+            == list(b.events)
+
+    def test_merge_is_deterministic_and_associative_for_distinct_keys(self):
+        a = generate_fault_schedule(
+            seed=3, duration_s=1.0, replicas=["a"], crash_rate_hz=9.0)
+        b = generate_fault_schedule(
+            seed=4, duration_s=1.0, replicas=["b"], crash_rate_hz=9.0)
+        c = generate_fault_schedule(
+            seed=5, duration_s=1.0, replicas=["c"], link_fault_rate_hz=9.0)
+        left = FaultSchedule.merge(FaultSchedule.merge(a, b), c)
+        right = FaultSchedule.merge(a, FaultSchedule.merge(b, c))
+        assert left == right
+        assert FaultSchedule.merge(a, b, c) == left
+
+    def test_merged_schedule_is_valid_input(self):
+        merged = FaultSchedule.merge(
+            FaultSchedule.from_events([ReplicaCrash(1.0, "r")]),
+            FaultSchedule.from_events([ReplicaRecovery(2.0, "r")]),
+        )
+        # from_events-style invariants hold on the result.
+        assert merged.for_replica("r").counts() == {
+            "crash": 1, "recovery": 1,
+        }
