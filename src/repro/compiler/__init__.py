@@ -18,10 +18,19 @@ from repro.compiler.mapping import (
 from repro.compiler.adjacency import adjacency_matrix, needs_ewop_reduction
 from repro.compiler.model import PerformanceEstimate, evaluate_mapping
 from repro.compiler.constraints import check_constraints
-from repro.compiler.search import Schedule, ScheduleSearch, schedule_layer
+from repro.compiler.search import (
+    Schedule,
+    ScheduleSearch,
+    ceil_tile_candidates,
+    schedule_layer,
+    schedule_network,
+)
+from repro.compiler.memo import TemporalMemo
 from repro.compiler.hwsearch import HardwareSearchResult, search_hardware_config
 from repro.compiler.codegen import compile_schedule, compile_network, CompiledLayer, NetworkProgram
-from repro.compiler.cache import ScheduleCache
+from repro.compiler.cache import CacheStats, ScheduleCache
+from repro.compiler.persist import PersistentScheduleStore
+from repro.compiler.parallel import parallel_schedule_network
 from repro.compiler.residency import ResidencyPlan, plan_residency
 from repro.compiler.randsearch import random_schedule_search
 
@@ -37,14 +46,20 @@ __all__ = [
     "check_constraints",
     "Schedule",
     "ScheduleSearch",
+    "TemporalMemo",
+    "ceil_tile_candidates",
     "schedule_layer",
+    "schedule_network",
+    "parallel_schedule_network",
     "HardwareSearchResult",
     "search_hardware_config",
     "compile_schedule",
     "compile_network",
     "CompiledLayer",
     "NetworkProgram",
+    "CacheStats",
     "ScheduleCache",
+    "PersistentScheduleStore",
     "ResidencyPlan",
     "plan_residency",
     "random_schedule_search",

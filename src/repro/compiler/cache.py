@@ -10,19 +10,36 @@ without limit, so :class:`ScheduleCache` accepts ``max_entries`` and
 evicts least-recently-used shapes past that bound.  Hit/miss/eviction
 counters are exposed through :meth:`ScheduleCache.stats` for the serving
 metrics layer.
+
+Two fast-path layers sit behind the in-memory map:
+
+* a shared :class:`~repro.compiler.memo.TemporalMemo` carries the
+  search's per-remainder temporal enumerations across misses, so a
+  batch-size sweep or a fault-mask recompile only re-searches what the
+  perturbation actually changed;
+* an optional :class:`~repro.compiler.persist.PersistentScheduleStore`
+  turns cold starts into disk loads: misses consult the store before
+  searching, and fresh searches are written back.  Loads replay the
+  original search's step-clock charge, so the trace timeline is the
+  same warm or cold.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
+from repro.compiler.memo import TemporalMemo
 from repro.compiler.search import Schedule, ScheduleSearch
 from repro.errors import ScheduleError
 from repro.overlay.config import OverlayConfig
 from repro.trace.metrics import MetricsRegistry, as_metrics
 from repro.trace.span import Tracer, as_tracer
 from repro.workloads.layers import ConvLayer, MatMulLayer
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle
+    from repro.compiler.persist import PersistentScheduleStore
 
 AcceleratedLayer = ConvLayer | MatMulLayer
 
@@ -47,6 +64,16 @@ class CacheStats:
     evictions: int
     size: int
     max_entries: int | None
+    #: Lookups served by loading the persistent store (subset of misses).
+    persistent_hits: int = 0
+    #: Store lookups that found nothing (or a corrupt entry).
+    persistent_misses: int = 0
+    #: Entries written back to the persistent store.
+    persistent_stores: int = 0
+    #: Corrupt / stale entries detected and skipped.
+    persistent_corrupt: int = 0
+    #: Whether a persistent store is attached at all.
+    has_store: bool = False
 
     @property
     def lookups(self) -> int:
@@ -56,13 +83,26 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def compiles(self) -> int:
+        """Lookups that actually ran a search."""
+        return self.misses - self.persistent_hits
+
     def describe(self) -> str:
         bound = "unbounded" if self.max_entries is None else str(self.max_entries)
-        return (
+        text = (
             f"{self.size} entries (bound {bound}): {self.hits} hits / "
             f"{self.misses} misses ({self.hit_rate:.1%}), "
             f"{self.evictions} evictions"
         )
+        if self.has_store:
+            text += (
+                f"; disk {self.persistent_hits} hits / "
+                f"{self.persistent_misses} misses, "
+                f"{self.persistent_stores} stores, "
+                f"{self.persistent_corrupt} corrupt"
+            )
+        return text
 
 
 class ScheduleCache:
@@ -79,6 +119,13 @@ class ScheduleCache:
             monotonic step timeline shared across all lookups.
         metrics: Optional :class:`~repro.trace.metrics.MetricsRegistry`
             receiving live ``schedule_cache_*`` counters.
+        store: Optional :class:`~repro.compiler.persist.
+            PersistentScheduleStore`; misses consult it before searching
+            and fresh searches are persisted into it.
+        temporal_memo: Shared :class:`~repro.compiler.memo.TemporalMemo`
+            for incremental search reuse.  Defaults to a fresh memo
+            private to this cache; pass one in to share across caches
+            (e.g. across batch-size or fault-mask recompiles).
     """
 
     def __init__(
@@ -88,6 +135,8 @@ class ScheduleCache:
         max_entries: int | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        store: "PersistentScheduleStore | None" = None,
+        temporal_memo: TemporalMemo | None = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ScheduleError(
@@ -98,28 +147,108 @@ class ScheduleCache:
         self.max_entries = max_entries
         self.tracer = as_tracer(tracer)
         self.metrics = as_metrics(metrics)
+        self.store = store
+        self.temporal_memo = (
+            temporal_memo if temporal_memo is not None else TemporalMemo()
+        )
         self._cache: OrderedDict[tuple, Schedule] = OrderedDict()
         self._step_base = 0
         self.misses = 0
         self.hits = 0
         self.evictions = 0
+        self.persistent_hits = 0
 
     def __len__(self) -> int:
         return len(self._cache)
 
+    # ------------------------------------------------------------------ #
+    def cached(self, layer: AcceleratedLayer) -> bool:
+        """Whether the in-memory map already holds this layer's shape."""
+        return layer_signature(layer) in self._cache
+
+    def _insert(self, key: tuple, schedule: Schedule) -> None:
+        self._cache[key] = schedule
+        if self.max_entries is not None and len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+            self.metrics.counter(
+                "schedule_cache_evictions", "LRU entries dropped at the bound"
+            ).inc()
+
+    def _memory_hit(self, key: tuple, layer: AcceleratedLayer) -> Schedule:
+        self.hits += 1
+        self.metrics.counter(
+            "schedule_cache_hits", "schedule lookups served from cache"
+        ).inc()
+        self.tracer.instant(
+            "cache.hit", at=self._step_base, track="cache",
+            layer=layer.name,
+        )
+        self._cache.move_to_end(key)
+        cached = self._cache[key]
+        if cached.layer is layer:
+            return cached
+        return replace(cached, layer=layer)
+
+    def load_persistent(self, layer: AcceleratedLayer) -> bool:
+        """Try to promote this layer's entry from the store into memory.
+
+        Returns True when the store held a valid entry.  The entry's
+        recorded step charge is replayed onto the cache's step clock so
+        trace timelines are identical warm or cold.
+        """
+        if self.store is None:
+            return False
+        loaded = self.store.load(layer, self.config, self.objective)
+        if loaded is None:
+            return False
+        schedule, steps = loaded
+        self._step_base += steps
+        self.persistent_hits += 1
+        self.tracer.instant(
+            "cache.persistent_hit", at=self._step_base, track="cache",
+            layer=layer.name,
+        )
+        self.metrics.counter(
+            "schedule_cache_persistent_hits",
+            "schedule lookups loaded from the persistent store",
+        ).inc()
+        self._insert(layer_signature(layer), schedule)
+        return True
+
+    def adopt(self, layer: AcceleratedLayer, schedule: Schedule,
+              steps: int = 0) -> None:
+        """Insert an externally-computed schedule (e.g. a pool worker's).
+
+        Counts as a miss (the shape was compiled, just not here), replays
+        the worker's step charge, and writes through to the store.
+        """
+        if schedule.config != self.config or schedule.objective != self.objective:
+            raise ScheduleError(
+                "adopted schedule was compiled for a different cache context"
+            )
+        self.misses += 1
+        self._step_base += steps
+        self.metrics.counter(
+            "schedule_cache_misses", "schedule lookups that compiled"
+        ).inc()
+        self._insert(layer_signature(layer), schedule)
+        if self.store is not None:
+            self.store.save(schedule, steps=steps)
+
+    # ------------------------------------------------------------------ #
     def schedule(self, layer: AcceleratedLayer) -> Schedule:
         """Return the best schedule for ``layer``, reusing shape twins."""
         key = layer_signature(layer)
         if key in self._cache:
-            self.hits += 1
+            return self._memory_hit(key, layer)
+        if self.store is not None and self.load_persistent(layer):
+            # A miss satisfied from disk: no search ran, the entry is in
+            # memory now.  stats().compiles stays honest about searches.
+            self.misses += 1
             self.metrics.counter(
-                "schedule_cache_hits", "schedule lookups served from cache"
+                "schedule_cache_misses", "schedule lookups that compiled"
             ).inc()
-            self.tracer.instant(
-                "cache.hit", at=self._step_base, track="cache",
-                layer=layer.name,
-            )
-            self._cache.move_to_end(key)
             cached = self._cache[key]
             if cached.layer is layer:
                 return cached
@@ -136,24 +265,39 @@ class ScheduleCache:
             layer, self.config, objective=self.objective, top_k=1,
             tracer=self.tracer, metrics=self.metrics,
             step_base=self._step_base,
+            temporal_memo=self.temporal_memo,
         )
         schedule = search.run()[0]
         self._step_base += search.steps
-        self._cache[key] = schedule
-        if self.max_entries is not None and len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-            self.evictions += 1
-            self.metrics.counter(
-                "schedule_cache_evictions", "LRU entries dropped at the bound"
-            ).inc()
+        self._insert(key, schedule)
+        if self.store is not None:
+            self.store.save(schedule, steps=search.steps)
         return schedule
 
+    # ------------------------------------------------------------------ #
     def stats(self) -> CacheStats:
         """Snapshot the hit/miss/eviction counters."""
+        store = self.store
         return CacheStats(
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
             size=len(self._cache),
             max_entries=self.max_entries,
+            persistent_hits=self.persistent_hits,
+            persistent_misses=store.misses if store is not None else 0,
+            persistent_stores=store.stores if store is not None else 0,
+            persistent_corrupt=store.corrupt if store is not None else 0,
+            has_store=store is not None,
         )
+
+    def describe(self) -> str:
+        """One-line cache summary including memo and disk-store behavior."""
+        text = self.stats().describe()
+        memo = self.temporal_memo
+        if memo is not None and memo.lookups:
+            text += (
+                f"; temporal memo {memo.hits} hits / {memo.misses} misses "
+                f"({memo.hit_rate:.1%})"
+            )
+        return text

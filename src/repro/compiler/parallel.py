@@ -1,0 +1,111 @@
+"""Parallel whole-network scheduling over a multiprocessing pool.
+
+Layer searches are embarrassingly parallel: each is a pure function of
+``(layer shape, overlay config, objective)`` with no shared state.  This
+module fans the *distinct* shapes of a network that are not already
+cached (in memory or in the persistent store) across a
+:mod:`multiprocessing` pool and merges the results back into the
+:class:`~repro.compiler.cache.ScheduleCache` in deterministic
+first-appearance order, so the final cache contents — and the returned
+schedule list — are byte-for-byte what the sequential path produces.
+
+Virtual-clock safety: pool workers run bare searches (no tracer, no
+metrics) and return ``(schedule, steps)``; the merge replays each step
+charge onto the cache's step clock in the same deterministic order, so
+downstream trace timestamps do not depend on worker scheduling.
+
+Degradation is graceful: if the platform cannot spawn processes (no
+``fork``/``spawn``, sandboxed semaphores, a single-core box not worth
+the fork cost) the fan-out silently becomes an in-process loop with
+identical results.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.compiler.cache import ScheduleCache, layer_signature
+from repro.compiler.search import Schedule, ScheduleSearch
+from repro.overlay.config import OverlayConfig
+
+#: Exceptions that mean "no pool on this platform", not "bad schedule".
+_POOL_ERRORS = (ImportError, OSError, PermissionError, ValueError)
+
+
+def _search_worker(
+    payload: tuple[object, OverlayConfig, str],
+) -> tuple[Schedule, int]:
+    """Top-level (picklable) pool target: one bare layer search."""
+    layer, config, objective = payload
+    search = ScheduleSearch(layer, config, objective=objective, top_k=1)
+    return search.run()[0], search.steps
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not pin one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _fan_out(
+    payloads: list[tuple[object, OverlayConfig, str]],
+    max_workers: int,
+) -> list[tuple[Schedule, int]]:
+    """Map the searches over a pool, or in-process when pooling fails.
+
+    Search errors (e.g. an infeasible layer) propagate exactly as the
+    sequential path raises them.
+    """
+    if max_workers <= 1 or len(payloads) <= 1:
+        return [_search_worker(p) for p in payloads]
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(max_workers, len(payloads))) as pool:
+            # Ordered map: result i belongs to payload i regardless of
+            # which worker finished first — the deterministic merge.
+            return pool.map(_search_worker, payloads, chunksize=1)
+    except _POOL_ERRORS:
+        return [_search_worker(p) for p in payloads]
+
+
+def parallel_schedule_network(
+    network,
+    config: OverlayConfig,
+    objective: str = "performance",
+    cache: ScheduleCache | None = None,
+    max_workers: int | None = None,
+) -> list[Schedule]:
+    """Best schedule per accelerated layer, searched in parallel.
+
+    Byte-for-byte identical to
+    :func:`repro.compiler.search.schedule_network`: distinct shapes not
+    already cached are searched concurrently, adopted into the cache in
+    first-appearance order, then the ordinary cache path materializes
+    the per-layer list (so name rebinding, stats, and store write-back
+    all flow through the same code).
+
+    Raises:
+        ScheduleError: if any layer has no feasible mapping on ``config``.
+    """
+    if cache is None:
+        cache = ScheduleCache(config, objective=objective)
+    if max_workers is None:
+        max_workers = default_workers()
+
+    pending: list = []
+    seen: set[tuple] = set()
+    for layer in network.accelerated_layers():
+        signature = layer_signature(layer)
+        if signature in seen or cache.cached(layer):
+            continue
+        seen.add(signature)
+        if cache.store is not None and cache.load_persistent(layer):
+            continue
+        pending.append(layer)
+
+    payloads = [(layer, cache.config, cache.objective) for layer in pending]
+    for layer, (schedule, steps) in zip(pending, _fan_out(payloads, max_workers)):
+        cache.adopt(layer, schedule, steps=steps)
+
+    return [cache.schedule(layer) for layer in network.accelerated_layers()]

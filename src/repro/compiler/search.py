@@ -31,11 +31,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from math import prod
 
 from repro.compiler.adjacency import adjacency_matrix
 from repro.compiler.constraints import check_constraints
 from repro.compiler.mapping import MappingVectors
+from repro.compiler.memo import TemporalMemo
 from repro.compiler.model import PerformanceEstimate, evaluate_mapping
 from repro.errors import ScheduleError
 from repro.overlay.config import OverlayConfig
@@ -77,18 +79,14 @@ class Schedule:
         )
 
 
-def ceil_tile_candidates(size: int, cap: int) -> list[int]:
-    """Tile sizes worth considering for a loop of ``size``, at most ``cap``.
-
-    The ceiling-divisor lattice ``{ceil(size / m)}`` contains, for every
-    possible split count ``m``, the smallest tile covering the loop — any
-    other tile only adds padding.  O(sqrt(size)) distinct values.
-    """
+@lru_cache(maxsize=65536)
+def _ceil_tile_lattice(size: int, cap: int) -> tuple[int, ...]:
+    """The memoized lattice behind :func:`ceil_tile_candidates`."""
     if size <= 0:
         raise ScheduleError(f"loop size must be positive, got {size}")
     cap = min(cap, size)
     if cap < 1:
-        return [1]
+        return (1,)
     values = set()
     m = 1
     while m <= size:
@@ -98,7 +96,21 @@ def ceil_tile_candidates(size: int, cap: int) -> list[int]:
         # Jump to the next m that can change ceil(size / m).
         m = max(m + 1, size // tile + 1) if tile > 1 else size + 1
     values.add(1)
-    return sorted(values)
+    return tuple(sorted(values))
+
+
+def ceil_tile_candidates(size: int, cap: int) -> list[int]:
+    """Tile sizes worth considering for a loop of ``size``, at most ``cap``.
+
+    The ceiling-divisor lattice ``{ceil(size / m)}`` contains, for every
+    possible split count ``m``, the smallest tile covering the loop — any
+    other tile only adds padding.  O(sqrt(size)) distinct values.
+
+    The lattice itself is process-wide memoized (it is a pure function of
+    its arguments and the search calls it once per loop per level per
+    candidate); callers get a fresh list each time.
+    """
+    return list(_ceil_tile_lattice(size, cap))
 
 
 def _level_assignments(
@@ -114,7 +126,7 @@ def _level_assignments(
             assignments.append(dict(current))
             return
         name = allowed[index]
-        for tile in ceil_tile_candidates(loop_sizes[name], budget):
+        for tile in _ceil_tile_lattice(loop_sizes[name], budget):
             current[name] = tile
             recurse(index + 1, current, budget // tile)
         current.pop(name, None)
@@ -168,6 +180,11 @@ class ScheduleSearch:
             the end of each :meth:`run`.
         step_base: Offset added to this search's step clock so several
             searches sharing one tracer stay on one monotonic timeline.
+        temporal_memo: Optional :class:`~repro.compiler.memo.TemporalMemo`
+            shared across searches (incremental reuse across batch sizes
+            and fault masks).  Shared hits replay the original step/prune
+            accounting, so results, trace spans, and mirrored counters
+            are bit-identical whether the memo was cold or warm.
     """
 
     def __init__(
@@ -181,6 +198,7 @@ class ScheduleSearch:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         step_base: int = 0,
+        temporal_memo: TemporalMemo | None = None,
     ):
         if objective not in OBJECTIVES:
             raise ScheduleError(
@@ -212,6 +230,9 @@ class ScheduleSearch:
         self.spatial_beam_dropped = 0
         self.pruned_by_capacity = 0
         self.temporal_memo_hits = 0
+        self.temporal_memo = temporal_memo
+        #: Remainder vectors served from the *shared* cross-search memo.
+        self.shared_memo_hits = 0
         #: Loops with iterations that the adjacency matrix (Fig. 5) bars
         #: from some hardware level — the search space it never visits.
         self.adjacency_excluded_loops = sum(
@@ -304,6 +325,35 @@ class ScheduleSearch:
     # ------------------------------------------------------------------ #
     # temporal stage (memoized per remainder vector)
     # ------------------------------------------------------------------ #
+    def temporal_context(self) -> tuple:
+        """Everything the temporal stage reads besides the remainder vector.
+
+        Two searches with equal contexts enumerate identical combos for
+        equal remainders — the key of the shared :class:`TemporalMemo`.
+        Note the spatial grid ``(D1, D2, D3)`` is deliberately absent: a
+        fault-mask recompile shrinks the grid but keeps every buffer
+        capacity, so the whole temporal memo carries over.
+        """
+        layer = self.layer
+        if isinstance(layer, ConvLayer):
+            kind = ("conv", layer.stride, layer.groups,
+                    layer.group_out_channels)
+        else:
+            kind = ("mm",)
+        return (
+            kind,
+            self._loop_names,
+            self._reduction,
+            self._in_weights,
+            tuple(self._allowed_loops("T")),
+            tuple(self._allowed_loops("L")),
+            self.config.actbuf_usable_words,
+            self.config.psumbuf_usable_words,
+            self.config.s_wbuf_words,
+            self.config.double_pump,
+            self.temporal_beam,
+        )
+
     def _t_tiles(self, rem: tuple[int, ...]) -> list[tuple[int, ...]]:
         allowed = set(self._allowed_loops("T"))
         active = [
@@ -322,7 +372,7 @@ class ScheduleSearch:
                 return
             i = active[pos]
             # Largest tiles first: they amortize LoopX overhead best.
-            for tile in reversed(ceil_tile_candidates(rem[i], rem[i])):
+            for tile in reversed(_ceil_tile_lattice(rem[i], rem[i])):
                 current[i] = tile
                 candidate = tuple(current)
                 if (
@@ -358,7 +408,7 @@ class ScheduleSearch:
                     continue
                 extended = []
                 for base in l_choices:
-                    for tile in reversed(ceil_tile_candidates(remaining, remaining)):
+                    for tile in reversed(_ceil_tile_lattice(remaining, remaining)):
                         candidate = list(base)
                         candidate[i] = tile
                         combined = tuple(
@@ -495,10 +545,42 @@ class ScheduleSearch:
                 tracer.end(self._now())
             self._mirror_metrics(snapshot)
 
+    def _memoized_combos(
+        self,
+        rem: tuple[int, ...],
+        context: tuple | None,
+    ) -> tuple[_TemporalCombo, ...]:
+        """Temporal combos for ``rem``, via the shared memo when available.
+
+        A shared hit replays the recorded step and capacity-prune charges
+        so the search's virtual step clock is independent of memo warmth.
+        """
+        memo = self.temporal_memo
+        if memo is None:
+            return tuple(self._temporal_combos(rem))
+        entry = memo.lookup(context, rem)
+        if entry is not None:
+            self.steps += entry.steps
+            self.pruned_by_capacity += entry.pruned
+            self.shared_memo_hits += 1
+            return entry.combos
+        steps0 = self.steps
+        pruned0 = self.pruned_by_capacity
+        combos = tuple(self._temporal_combos(rem))
+        memo.store(
+            context, rem, combos,
+            steps=self.steps - steps0,
+            pruned=self.pruned_by_capacity - pruned0,
+        )
+        return combos
+
     def _run_traced(self, tracer: Tracer) -> list[Schedule]:
         heap: list[tuple[tuple, int, tuple, _TemporalCombo]] = []
         counter = itertools.count()
-        temporal_memo: dict[tuple[int, ...], list[_TemporalCombo]] = {}
+        temporal_memo: dict[tuple[int, ...], tuple[_TemporalCombo, ...]] = {}
+        context = (
+            self.temporal_context() if self.temporal_memo is not None else None
+        )
 
         span = tracer.begin("spatial", at=self._now(), track="search")
         spatials = self._spatial_choices()
@@ -516,7 +598,7 @@ class ScheduleSearch:
             )
             combos = temporal_memo.get(rem)
             if combos is None:
-                combos = self._temporal_combos(rem)
+                combos = self._memoized_combos(rem, context)
                 temporal_memo[rem] = combos
             else:
                 self.temporal_memo_hits += 1
@@ -622,6 +704,7 @@ def schedule_network(
     config: OverlayConfig,
     objective: str = "performance",
     cache=None,
+    workers: int | None = None,
 ) -> list[Schedule]:
     """Best schedule per accelerated layer of ``network``, in layer order.
 
@@ -630,12 +713,27 @@ def schedule_network(
     deduplicated through one :class:`~repro.compiler.cache.ScheduleCache`
     (a fresh unbounded one when ``cache`` is None).
 
+    Args:
+        workers: When > 1, independent layer searches fan out across a
+            :mod:`multiprocessing` pool (see
+            :func:`repro.compiler.parallel.parallel_schedule_network`);
+            results are merged deterministically and are byte-for-byte
+            identical to the sequential path.  ``None`` or 1 searches
+            in-process.
+
     Raises:
         ScheduleError: if any layer has no feasible mapping on ``config``.
     """
-    # Local import: cache.py imports this module at load time.
+    # Local imports: cache.py / parallel.py import this module at load time.
     from repro.compiler.cache import ScheduleCache
 
     if cache is None:
         cache = ScheduleCache(config, objective=objective)
+    if workers is not None and workers > 1:
+        from repro.compiler.parallel import parallel_schedule_network
+
+        return parallel_schedule_network(
+            network, config, objective=objective, cache=cache,
+            max_workers=workers,
+        )
     return [cache.schedule(layer) for layer in network.accelerated_layers()]

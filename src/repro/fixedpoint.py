@@ -30,6 +30,12 @@ def wrap48(value: int | np.ndarray) -> int | np.ndarray:
     the simulator asserts that property at run time.
     """
     if isinstance(value, np.ndarray):
+        if value.dtype.kind in "iu":
+            # Pure int64 path: x & (2^48 - 1) == x mod 2^48 holds for
+            # two's-complement int64, and the masked value + _ACC_HALF
+            # stays far below 2^63, so no step can overflow.
+            masked = (value.astype(np.int64) & (_ACC_MOD - 1)) + _ACC_HALF
+            return ((masked & (_ACC_MOD - 1)) - _ACC_HALF).astype(np.int64)
         wrapped = np.mod(value.astype(object) + _ACC_HALF, _ACC_MOD) - _ACC_HALF
         return wrapped.astype(np.int64)
     return int((int(value) + _ACC_HALF) % _ACC_MOD - _ACC_HALF)

@@ -108,6 +108,7 @@ class PipelineService:
         n_devices: int,
         n_replicas: int = 1,
         objective: str = "balance",
+        store=None,
     ):
         if n_replicas < 1:
             raise ServingError(f"need >= 1 replica, got {n_replicas}")
@@ -125,10 +126,14 @@ class PipelineService:
                 dataclasses.replace(config, weights_resident=True)
                 if stage.resident else config
             )
+            # Stages share one persistent store safely: the store key
+            # includes the stage's config signature, so resident and
+            # non-resident stages never collide.
             self._stages.append(BatchServiceModel(
                 stage.partition, stage_config,
                 objective=objective,
-                cache=ScheduleCache(stage_config, objective=objective),
+                cache=ScheduleCache(stage_config, objective=objective,
+                                    store=store),
             ))
 
     @property
@@ -161,6 +166,11 @@ class PipelineService:
             evictions=sum(s.evictions for s in stats),
             size=sum(s.size for s in stats),
             max_entries=None,
+            persistent_hits=sum(s.persistent_hits for s in stats),
+            persistent_misses=sum(s.persistent_misses for s in stats),
+            persistent_stores=sum(s.persistent_stores for s in stats),
+            persistent_corrupt=sum(s.persistent_corrupt for s in stats),
+            has_store=any(s.has_store for s in stats),
         )
 
     def replica_names(self) -> list[str]:

@@ -12,18 +12,28 @@ the ``D1 x D2 x D3`` grid and reports
   measured *hardware efficiency* follows;
 * **DRAM trace** — the access stream handed to :mod:`repro.dram`.
 
-The functional path visits every MACC in Python, so it is meant for
-moderate layer sizes (tests, examples); full-network results use the
-analytical model, which tests validate against this simulator.
+Two functional engines produce that output, selectable per simulator and
+bit-identical by construction (and by test sweep):
+
+* ``"reference"`` — visits every MACC in Python, routing each through
+  the TPE/SuperBlock datapath objects.  Slow, but it exercises the
+  buffer addressing and cascade structure directly.
+* ``"vectorized"`` (default) — enumerates the same hardware-iteration
+  lattice as flat NumPy index arrays, gathers operands in bulk, and
+  scatter-accumulates into int64.  48-bit wrapping commutes with exact
+  mod-2^64 accumulation (2^48 divides 2^64), so one final ``wrap48``
+  reproduces the cascade's per-step wrapping exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import prod
 
 import numpy as np
 
 from repro.compiler.codegen import CompiledLayer
+from repro.compiler.mapping import HW_LEVELS
 from repro.errors import SimulationError
 from repro.overlay.buses import BusModel
 from repro.overlay.config import OverlayConfig
@@ -68,16 +78,51 @@ class LayerRun:
         return self.useful_maccs / (self.n_tpe * self.cycles)
 
 
-class CycleSimulator:
-    """Executes compiled layers on an overlay configuration."""
+#: Functional-engine names accepted by :class:`CycleSimulator`.
+FUNCTIONAL_ENGINES = ("vectorized", "reference")
 
-    def __init__(self, config: OverlayConfig):
+#: Lanes materialized per vectorized chunk (bounds peak index memory).
+_VEC_CHUNK = 1 << 19
+
+
+class CycleSimulator:
+    """Executes compiled layers on an overlay configuration.
+
+    Args:
+        config: The overlay to simulate.
+        functional_engine: ``"vectorized"`` (NumPy lattice enumeration,
+            the default) or ``"reference"`` (per-MACC datapath objects).
+            Both produce bit-identical outputs and MACC counts.
+    """
+
+    def __init__(self, config: OverlayConfig,
+                 functional_engine: str = "vectorized"):
+        if functional_engine not in FUNCTIONAL_ENGINES:
+            raise SimulationError(
+                f"unknown functional engine {functional_engine!r}; "
+                f"expected one of {FUNCTIONAL_ENGINES}"
+            )
         self.config = config
+        self.functional_engine = functional_engine
 
     # ------------------------------------------------------------------ #
     # functional execution
     # ------------------------------------------------------------------ #
     def _functional(
+        self,
+        compiled: CompiledLayer,
+        weights: np.ndarray,
+        acts: np.ndarray,
+    ) -> tuple[np.ndarray, int, int]:
+        """Dispatch to the selected functional engine.
+
+        Returns (output, useful_maccs, issued_maccs).
+        """
+        if self.functional_engine == "reference":
+            return self._functional_reference(compiled, weights, acts)
+        return self._functional_vectorized(compiled, weights, acts)
+
+    def _functional_reference(
         self,
         compiled: CompiledLayer,
         weights: np.ndarray,
@@ -209,6 +254,149 @@ class CycleSimulator:
                     )
 
         return output, useful, issued
+
+    def _functional_vectorized(
+        self,
+        compiled: CompiledLayer,
+        weights: np.ndarray,
+        acts: np.ndarray,
+    ) -> tuple[np.ndarray, int, int]:
+        """Enumerate the hardware-iteration lattice as NumPy arrays.
+
+        The lattice is the same ``(d3, d2, d1, x, l, t)`` space the
+        reference engine walks: flat lane numbers decompose into
+        per-level indices, per-level mixed-radix tables give each loop's
+        sub-index, and place values recombine them into workload indices
+        (Eqn 1).  Valid lanes gather operands and scatter-add into an
+        int64 accumulator; a single final ``wrap48`` matches the
+        cascade's stepwise wrapping because both compute the same value
+        mod 2^48.
+
+        Returns (output, useful_maccs, issued_maccs).
+        """
+        layer: AcceleratedLayer = compiled.schedule.layer
+        mapping = compiled.schedule.mapping
+        weights = to_int16(weights)
+        acts = to_int16(acts)
+        names = mapping.loop_names
+        k = len(names)
+        sizes = np.array(
+            [layer.loop_sizes[n] for n in names], dtype=np.int64
+        )
+
+        level_sizes = [mapping.level_product(level) for level in HW_LEVELS]
+        total = prod(level_sizes)
+
+        # tables[li][j, i]: loop j's sub-index at flat index i of level
+        # li (mixed radix over the level's trips, last loop least
+        # significant — decompose_level_index in array form).
+        tables = []
+        for level, n_level in zip(HW_LEVELS, level_sizes):
+            flat = np.arange(n_level, dtype=np.int64)
+            table = np.empty((k, n_level), dtype=np.int64)
+            div = 1
+            for j in range(k - 1, -1, -1):
+                radix = mapping.trips[level][names[j]]
+                table[j] = (flat // div) % radix
+                div *= radix
+            tables.append(table)
+
+        # place[li, j]: weight of level li's sub-index in loop j's
+        # combined workload index — the product of all inner levels'
+        # trips (outer levels most significant).
+        n_levels = len(HW_LEVELS)
+        place = np.ones((n_levels, k), dtype=np.int64)
+        for li in range(n_levels - 2, -1, -1):
+            inner_trips = np.array(
+                [mapping.trips[HW_LEVELS[li + 1]][n] for n in names],
+                dtype=np.int64,
+            )
+            place[li] = place[li + 1] * inner_trips
+
+        # level_div[li]: divisor extracting level li's index from a flat
+        # lane number (T varies fastest).
+        level_div = np.ones(n_levels, dtype=np.int64)
+        for li in range(n_levels - 2, -1, -1):
+            level_div[li] = level_div[li + 1] * level_sizes[li + 1]
+
+        out_shape = layer.out_shape()
+        acc = np.zeros(prod(out_shape), dtype=np.int64)
+        w_flat = weights.reshape(-1)
+        a_flat = acts.reshape(-1)
+        useful = 0
+
+        for lo in range(0, total, _VEC_CHUNK):
+            lanes = np.arange(lo, min(lo + _VEC_CHUNK, total), dtype=np.int64)
+            idx = np.zeros((k, lanes.size), dtype=np.int64)
+            for li in range(n_levels):
+                level_idx = (lanes // level_div[li]) % level_sizes[li]
+                idx += tables[li][:, level_idx] * place[li][:, None]
+            valid = np.all(idx < sizes[:, None], axis=0)
+            n_valid = int(np.count_nonzero(valid))
+            if not n_valid:
+                continue
+            useful += n_valid
+            idx = idx[:, valid]
+            w_lane, a_lane, out_lane = self._gather_lanes(
+                layer, names, idx, w_flat, a_flat
+            )
+            np.add.at(acc, out_lane, w_lane * a_lane)
+
+        output = wrap48(acc).reshape(out_shape)
+        return output, useful, int(total)
+
+    @staticmethod
+    def _gather_lanes(
+        layer: AcceleratedLayer,
+        names: tuple[str, ...],
+        idx: np.ndarray,
+        w_flat: np.ndarray,
+        a_flat: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Operand and output gathers for one chunk of valid lanes.
+
+        Array form of ``weight_coord`` / ``act_coord`` / ``out_coord``;
+        out-of-range activation coordinates (zero padding) read as zero,
+        exactly like ``act_in_range`` gating in the reference engine.
+        """
+        pos = {name: j for j, name in enumerate(names)}
+        if isinstance(layer, ConvLayer):
+            m = idx[pos["M"]]
+            n = idx[pos["N"]]
+            h = idx[pos["H"]]
+            w = idx[pos["W"]]
+            r = idx[pos["R"]]
+            s = idx[pos["S"]]
+            gin = layer.group_in_channels
+            w_lane = w_flat[
+                ((m * gin + n) * layer.kernel_h + r) * layer.kernel_w + s
+            ].astype(np.int64)
+            if layer.groups > 1:
+                channel = (m // layer.group_out_channels) * gin + n
+            else:
+                channel = n
+            ih = h * layer.stride + r - layer.padding
+            iw = w * layer.stride + s - layer.padding
+            in_range = (
+                (ih >= 0) & (ih < layer.in_h) & (iw >= 0) & (iw < layer.in_w)
+            )
+            a_index = (
+                channel * layer.in_h + np.clip(ih, 0, layer.in_h - 1)
+            ) * layer.in_w + np.clip(iw, 0, layer.in_w - 1)
+            a_lane = np.where(in_range, a_flat[a_index].astype(np.int64), 0)
+            out_lane = (m * layer.out_h + h) * layer.out_w + w
+            return w_lane, a_lane, out_lane
+        if isinstance(layer, MatMulLayer):
+            m = idx[pos["M"]]
+            n = idx[pos["N"]]
+            p = idx[pos["P"]]
+            w_lane = w_flat[n * layer.in_features + m].astype(np.int64)
+            a_lane = a_flat[m * layer.batch + p].astype(np.int64)
+            out_lane = n * layer.batch + p
+            return w_lane, a_lane, out_lane
+        raise SimulationError(
+            f"no vectorized gather for layer kind {layer.kind}"
+        )
 
     # ------------------------------------------------------------------ #
     # timing

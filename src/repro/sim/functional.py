@@ -88,17 +88,13 @@ def conv2d_int16(
     ow = (iw + 2 * padding - s) // stride + 1
     if oh < 1 or ow < 1:
         raise SimulationError("convolution output is empty")
-    out = np.zeros((m, oh, ow), dtype=np.int64)
-    w64 = weights.astype(np.int64)
-    for dr in range(r):
-        for ds in range(s):
-            window = padded[
-                :,
-                dr:dr + stride * oh:stride,
-                ds:ds + stride * ow:stride,
-            ]
-            # (M, N) x (N, OH, OW) -> (M, OH, OW), accumulated exactly.
-            out += np.tensordot(w64[:, :, dr, ds], window, axes=([1], [0]))
+    # (N, OH, OW, R, S) strided view over the padded input; einsum on
+    # int64 accumulates exactly (mod 2^64), which the final 48-bit wrap
+    # reduces to the cascade's value.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (r, s), axis=(1, 2)
+    )[:, ::stride, ::stride]
+    out = np.einsum("mnrs,nhwrs->mhw", weights.astype(np.int64), windows)
     return wrap48(out)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.compiler.cache import ScheduleCache
 from repro.cluster import (
     AutoscalePolicy,
     ClusterEngine,
@@ -92,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "detect-correct"])
     parser.add_argument("--no-hedge", action="store_true",
                         help="disable hedged retry placement")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent schedule store: cold starts load previously "
+             "compiled schedules from DIR instead of re-searching",
+    )
     scale = parser.add_argument_group("autoscaling")
     scale.add_argument("--autoscale", action="store_true",
                        help="enable the gauge-driven autoscaler")
@@ -162,7 +168,14 @@ def assign_tenants(requests, weights: dict[str, float]) -> None:
 
 def _campaign(args, network, config: OverlayConfig) -> str:
     topology = build_fleet(args.racks, args.boards_per_rack)
-    service = FleetService(BatchServiceModel(network, config), topology)
+    store = None
+    if args.cache_dir:
+        from repro.compiler.persist import PersistentScheduleStore
+        store = PersistentScheduleStore(args.cache_dir)
+    cache = ScheduleCache(config, store=store)
+    service = FleetService(
+        BatchServiceModel(network, config, cache=cache), topology
+    )
     times = poisson_arrivals(args.rate, args.requests, seed=args.seed)
     deadline_s = (
         args.deadline_ms * 1e-3 if args.deadline_ms
@@ -233,6 +246,7 @@ def _campaign(args, network, config: OverlayConfig) -> str:
         f"  drop rate             : {report.core.drop_rate:.4%}",
         f"  retries               : {report.core.n_retries}",
         f"  hedged dispatches     : {report.hedged_dispatches}",
+        f"  schedule cache        : {cache.describe()}",
     ]
     if report.core.health is not None:
         health = report.core.health

@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="latency objective for violation accounting")
     parser.add_argument("--cache-entries", type=int, default=None,
                         help="bound the schedule cache (LRU eviction)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent schedule store: cold starts load previously "
+             "compiled schedules from DIR instead of re-searching",
+    )
     return parser
 
 
@@ -97,17 +102,25 @@ def main(argv: list[str] | None = None) -> int:
             config = PAPER_EXAMPLE_CONFIG
         network = _build_network(args.model)
 
+        store = None
+        if args.cache_dir:
+            from repro.compiler.persist import PersistentScheduleStore
+            store = PersistentScheduleStore(args.cache_dir)
+
+        cache = None
         if args.pipeline_devices > 0:
             service = PipelineService(
                 network, config,
                 n_devices=args.pipeline_devices,
                 n_replicas=args.replicas,
+                store=store,
             )
             shape = (f"{args.replicas} x {service.n_devices}-device "
                      f"pipeline")
         else:
             from repro.compiler.cache import ScheduleCache
-            cache = ScheduleCache(config, max_entries=args.cache_entries)
+            cache = ScheduleCache(config, max_entries=args.cache_entries,
+                                  store=store)
             service = ReplicaService(
                 BatchServiceModel(network, config, cache=cache),
                 n_replicas=args.replicas,
@@ -139,6 +152,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(report.describe())
+    if cache is not None:
+        # Richer than the report's stats line: includes the temporal
+        # memo and persistent-store behavior behind the hit rate.
+        print(f"  compile cache  : {cache.describe()}")
     return 0
 
 

@@ -85,6 +85,46 @@ def test_no_wall_clock_imports():
     assert _ast_violations() == []
 
 
+#: The compile fast path must stay on the virtual clock: persistence,
+#: memoization, and the multiprocessing fan-out all replay recorded step
+#: charges instead of measuring anything.
+_FAST_PATH_MODULES = (
+    "compiler/memo.py",
+    "compiler/persist.py",
+    "compiler/parallel.py",
+    "compiler/cache.py",
+    "sim/cycle.py",
+)
+
+
+def test_fast_path_modules_are_in_the_scanned_set():
+    scanned = {
+        str(path.relative_to(SRC)) for path in SRC.rglob("*.py")
+    }
+    for module in _FAST_PATH_MODULES:
+        assert module in scanned, f"{module} moved out of the scan root"
+
+
+BENCH = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+#: The compile-speed harness is the one place allowed to read the wall
+#: clock — measuring real speedups is its entire job.  Everything else
+#: under benchmarks/ reproduces paper artifacts on the virtual clock.
+_BENCH_WALL_CLOCK_ALLOWED = {"test_compile_speed.py"}
+
+
+def test_benchmarks_stay_virtual_except_the_speed_harness():
+    found = []
+    for path in sorted(BENCH.rglob("*.py")):
+        if path.name in _BENCH_WALL_CLOCK_ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if _WALL_CLOCK.search(code):
+                found.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert found == []
+
+
 def test_tracer_requires_explicit_timestamps():
     """The tracing API has no implicit-now overloads at all."""
     import inspect

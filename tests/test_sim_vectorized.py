@@ -1,0 +1,175 @@
+"""Vectorized functional engine: bit-identity against the reference.
+
+The vectorized engine enumerates the same hardware-iteration lattice as
+the per-MACC reference engine, so outputs, useful-MACC counts, and
+issued-MACC counts must all be *exactly* equal — including zero padding,
+strides, grouped channels, and 48-bit accumulator wrap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_schedule, schedule_layer
+from repro.errors import SimulationError
+from repro.fixedpoint import _ACC_HALF, _ACC_MOD, wrap48
+from repro.overlay.config import OverlayConfig
+from repro.sim.cycle import FUNCTIONAL_ENGINES, CycleSimulator
+from repro.sim.functional import (
+    conv2d_int16,
+    golden_layer_output,
+    random_layer_operands,
+)
+from repro.workloads.layers import ConvLayer, MatMulLayer
+
+CONFIGS = [OverlayConfig(3, 2, 2), OverlayConfig(4, 2, 3)]
+
+LAYERS = [
+    ConvLayer("pad", in_channels=4, out_channels=6, in_h=9, in_w=9,
+              kernel_h=3, kernel_w=3, stride=1, padding=1),
+    ConvLayer("stride", in_channels=6, out_channels=4, in_h=11, in_w=11,
+              kernel_h=3, kernel_w=3, stride=2, padding=0),
+    ConvLayer("stride_pad", in_channels=3, out_channels=5, in_h=10, in_w=8,
+              kernel_h=3, kernel_w=3, stride=2, padding=1),
+    ConvLayer("grouped", in_channels=8, out_channels=8, in_h=7, in_w=7,
+              kernel_h=3, kernel_w=3, stride=1, padding=1, groups=4),
+    ConvLayer("depthwise", in_channels=6, out_channels=6, in_h=8, in_w=8,
+              kernel_h=3, kernel_w=3, stride=1, padding=1, groups=6),
+    ConvLayer("pointwise", in_channels=4, out_channels=4, in_h=8, in_w=8,
+              kernel_h=1, kernel_w=1, stride=1, padding=0),
+    ConvLayer("asym", in_channels=2, out_channels=3, in_h=12, in_w=5,
+              kernel_h=5, kernel_w=3, stride=1, padding=2),
+    MatMulLayer("fc", in_features=32, out_features=20, batch=1),
+    MatMulLayer("batched", in_features=17, out_features=9, batch=6),
+]
+
+
+@pytest.mark.parametrize("layer", LAYERS, ids=lambda l: l.name)
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=lambda c: f"{c.d1}x{c.d2}x{c.d3}")
+def test_engines_bit_identical(layer, config):
+    compiled = compile_schedule(schedule_layer(layer, config))
+    rng = np.random.default_rng(hash(layer.name) % 2**32)
+    weights, acts = random_layer_operands(layer, rng)
+    ref = CycleSimulator(config, functional_engine="reference")
+    vec = CycleSimulator(config)  # vectorized is the default
+    out_r, useful_r, issued_r = ref._functional(compiled, weights, acts)
+    out_v, useful_v, issued_v = vec._functional(compiled, weights, acts)
+    assert np.array_equal(out_r, out_v)
+    assert (useful_r, issued_r) == (useful_v, issued_v)
+    assert useful_v == layer.maccs
+    assert np.array_equal(out_v, golden_layer_output(layer, weights, acts))
+
+
+def test_run_layer_matches_between_engines():
+    config = OverlayConfig(3, 2, 2)
+    layer = LAYERS[0]
+    compiled = compile_schedule(schedule_layer(layer, config))
+    rng = np.random.default_rng(11)
+    weights, acts = random_layer_operands(layer, rng)
+    runs = [
+        CycleSimulator(config, functional_engine=engine).run_layer(
+            compiled, weights, acts
+        )
+        for engine in FUNCTIONAL_ENGINES
+    ]
+    first, second = runs
+    assert np.array_equal(first.output, second.output)
+    assert first.cycles == second.cycles
+    assert first.useful_maccs == second.useful_maccs
+    assert first.issued_maccs == second.issued_maccs
+    assert first.golden_match and second.golden_match
+
+
+def test_wrap_behaviour_is_preserved():
+    """Large operands that wrap the 48-bit accumulator stay identical."""
+    config = OverlayConfig(3, 2, 2)
+    layer = MatMulLayer("hot", in_features=40, out_features=6, batch=2)
+    compiled = compile_schedule(schedule_layer(layer, config))
+    rng = np.random.default_rng(3)
+    weights, acts = random_layer_operands(layer, rng, magnitude=32767)
+    ref = CycleSimulator(config, functional_engine="reference")
+    vec = CycleSimulator(config)
+    out_r, *_ = ref._functional(compiled, weights, acts)
+    out_v, *_ = vec._functional(compiled, weights, acts)
+    assert np.array_equal(out_r, out_v)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(SimulationError):
+        CycleSimulator(OverlayConfig(3, 2, 2), functional_engine="magic")
+
+
+class TestWrap48FastPath:
+    def test_matches_object_path_at_boundaries(self):
+        values = np.array(
+            [0, 1, -1, _ACC_HALF - 1, _ACC_HALF, -_ACC_HALF,
+             -_ACC_HALF - 1, _ACC_MOD, _ACC_MOD - 1, -_ACC_MOD,
+             2**62, -(2**62), 2**63 - 1, -(2**63)],
+            dtype=np.int64,
+        )
+        slow = (
+            np.mod(values.astype(object) + _ACC_HALF, _ACC_MOD) - _ACC_HALF
+        ).astype(np.int64)
+        fast = wrap48(values)
+        assert fast.dtype == np.int64
+        assert np.array_equal(fast, slow)
+        assert all(int(fast[i]) == wrap48(int(values[i]))
+                   for i in range(values.size))
+
+    def test_seeded_sweep_matches_scalar(self):
+        rng = np.random.default_rng(99)
+        values = rng.integers(-(2**63), 2**63 - 1, size=5000,
+                              dtype=np.int64)
+        fast = wrap48(values)
+        assert all(int(fast[i]) == wrap48(int(values[i]))
+                   for i in range(values.size))
+
+    def test_float_arrays_keep_object_fallback(self):
+        out = wrap48(np.array([float(_ACC_HALF)]))
+        assert out.dtype == np.int64
+        assert int(out[0]) == -_ACC_HALF
+
+
+class TestVectorizedGoldenConv:
+    def test_strided_padded_golden_unchanged(self):
+        """sliding_window_view path equals the direct definition."""
+        rng = np.random.default_rng(5)
+        for stride, padding, groups in [(1, 0, 1), (1, 1, 1), (2, 1, 1),
+                                        (3, 2, 1), (1, 1, 2), (2, 0, 2)]:
+            n, m = 4, 6
+            weights = rng.integers(-50, 50, size=(m, n // groups, 3, 3))
+            acts = rng.integers(-50, 50, size=(n, 11, 9))
+            got = conv2d_int16(weights.astype(np.int16),
+                               acts.astype(np.int16),
+                               stride=stride, padding=padding,
+                               groups=groups)
+            expect = _direct_conv(weights, acts, stride, padding, groups)
+            assert np.array_equal(got, expect), (stride, padding, groups)
+
+
+def _direct_conv(weights, acts, stride, padding, groups):
+    """Quadruple-loop definition of the golden conv, for cross-checking."""
+    m, n_g, r, s = weights.shape
+    n, ih, iw = acts.shape
+    oh = (ih + 2 * padding - r) // stride + 1
+    ow = (iw + 2 * padding - s) // stride + 1
+    m_g = m // groups
+    out = np.zeros((m, oh, ow), dtype=object)
+    for om in range(m):
+        group = om // m_g
+        for oy in range(oh):
+            for ox in range(ow):
+                acc = 0
+                for dn in range(n_g):
+                    for dr in range(r):
+                        for ds in range(s):
+                            yy = oy * stride + dr - padding
+                            xx = ox * stride + ds - padding
+                            if 0 <= yy < ih and 0 <= xx < iw:
+                                acc += int(weights[om, dn, dr, ds]) * int(
+                                    acts[group * n_g + dn, yy, xx]
+                                )
+                out[om, oy, ox] = acc
+    return wrap48(out.astype(np.int64))
