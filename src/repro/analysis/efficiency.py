@@ -71,6 +71,8 @@ class NetworkResult:
 
     @property
     def attained_gops(self) -> float:
+        if not self.total_cycles:
+            return 0.0
         return (
             OPS_PER_MACC * self.network.accelerated_maccs
             / self.seconds_per_frame / 1e9
@@ -90,6 +92,13 @@ class NetworkResult:
     def host_ewop_ops(self) -> int:
         """Element-wise operations delegated to the host CPU per frame."""
         return self.network.op_breakdown().ewop_ops
+
+    @property
+    def host_ops(self) -> int:
+        """All host-side (0-MACC) operations per frame — EWOP plus the
+        transformer-suite eltwise/softmax/norm layers.  Never feeds a
+        per-MACC divisor: these layers contribute no MACCs."""
+        return self.network.op_breakdown().host_ops
 
     def dram_trace(self) -> DramTrace:
         """Synthesize a frame-level DRAM trace from the layer estimates."""

@@ -18,16 +18,19 @@ from repro.analysis.efficiency import NetworkResult, evaluate_network
 from repro.errors import FTDLError, PartitionError
 from repro.overlay.config import OverlayConfig
 from repro.units import BYTES_PER_WORD
-from repro.workloads.layers import LayerKind
+from repro.workloads.layers import HOST_KINDS
 from repro.workloads.network import Network
 
 
 def partition_by_weight_groups(network: Network, n_devices: int) -> list[Network]:
     """Split layers into up to ``n_devices`` groups of roughly equal
-    unique weight bytes.
+    unique *stored* weight bytes.
 
-    Weight groups are atomic; EWOP layers follow their most recent
-    accelerated producer.  Returns only non-empty partitions.
+    Weight groups are atomic; host layers (EWOP/eltwise/softmax/norm)
+    follow their most recent accelerated producer.  Layers that stream
+    run-time activations through the weight port (``weight_source``)
+    store nothing, so they weigh zero in the balance but still anchor a
+    group.  Returns only non-empty partitions.
 
     Raises:
         FTDLError: if ``n_devices`` is not positive.
@@ -36,10 +39,10 @@ def partition_by_weight_groups(network: Network, n_devices: int) -> list[Network
         raise FTDLError(f"need >= 1 device, got {n_devices}")
     group_sizes: dict[str, int] = {}
     for layer in network.layers:
-        if layer.kind == LayerKind.EWOP:
+        if layer.kind in HOST_KINDS:
             continue
         key = getattr(layer, "weight_group", None) or layer.name
-        group_sizes.setdefault(key, layer.weight_words)
+        group_sizes.setdefault(key, layer.parameter_words)
 
     total = sum(group_sizes.values())
     target = total / n_devices if n_devices else total
@@ -54,7 +57,7 @@ def partition_by_weight_groups(network: Network, n_devices: int) -> list[Network
     buckets: list[list] = [[] for _ in range(n_devices)]
     current = 0
     for layer in network.layers:
-        if layer.kind != LayerKind.EWOP:
+        if layer.kind not in HOST_KINDS:
             key = getattr(layer, "weight_group", None) or layer.name
             current = assignment[key]
         buckets[current].append(layer)

@@ -13,7 +13,8 @@ above the ~40 dB where classification accuracy is known to hold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -21,8 +22,14 @@ from repro.errors import FTDLError
 from repro.fixedpoint import quantize_symmetric
 from repro.sim.functional import conv2d_int16, matmul_int16
 from repro.workloads.layers import ConvLayer, MatMulLayer
+from repro.workloads.network import Network
 
 AcceleratedLayer = ConvLayer | MatMulLayer
+
+#: Supported per-layer precisions for mixed-precision specs.
+PRECISIONS = ("int8", "int16", "bf16")
+#: Stored bytes per weight word at each precision.
+PRECISION_BYTES = {"int8": 1, "int16": 2, "bf16": 2}
 
 
 def replace_conv_groups(layer: ConvLayer) -> ConvLayer:
@@ -131,6 +138,165 @@ def quantized_layer_error(
         sqnr_db=sqnr,
         max_abs_error=float(np.max(np.abs(error))),
         output_rms=float(np.sqrt(signal_power)),
+    )
+
+
+def bf16_round(x: np.ndarray) -> np.ndarray:
+    """Round float values to bfloat16 (round-to-nearest-even), as float64.
+
+    bfloat16 keeps float32's exponent and truncates the mantissa to 7
+    bits; implemented on the uint32 view so it needs no ml_dtypes
+    dependency.
+    """
+    f32 = np.asarray(x, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    rounded = bits + 0x7FFF + ((bits >> 16) & 1)
+    rounded &= np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).astype(np.float64)
+
+
+def bf16_layer_error(
+    layer: AcceleratedLayer, weights: np.ndarray, acts: np.ndarray
+) -> QuantizationReport:
+    """Error of executing ``layer`` with bfloat16-rounded operands.
+
+    The float reference uses the full-precision operands; the test run
+    rounds both operands to bf16 first.  Reported with ``n_bits=16`` (the
+    storage width) — SQNR reflects the 8-bit mantissa.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    acts = np.asarray(acts, dtype=np.float64)
+    test = _float_reference(layer, bf16_round(weights), bf16_round(acts))
+    reference = _float_reference(layer, weights, acts)
+    error = test - reference
+    signal_power = float(np.mean(reference**2))
+    noise_power = float(np.mean(error**2))
+    if noise_power == 0.0:
+        sqnr = float("inf")
+    elif signal_power == 0.0:
+        sqnr = float("-inf")
+    else:
+        sqnr = 10.0 * np.log10(signal_power / noise_power)
+    return QuantizationReport(
+        n_bits=16,
+        sqnr_db=sqnr,
+        max_abs_error=float(np.max(np.abs(error))),
+        output_rms=float(np.sqrt(signal_power)),
+    )
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Per-layer precision assignment for a mixed-precision deployment.
+
+    Attributes:
+        default: Precision for layers without an override.
+        overrides: Layer name -> precision.  Unknown precisions raise at
+            construction; override names are validated against a network
+            by :meth:`validate`.
+    """
+
+    default: str = "int16"
+    overrides: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for precision in (self.default, *self.overrides.values()):
+            if precision not in PRECISIONS:
+                raise FTDLError(
+                    f"unknown precision {precision!r}; "
+                    f"known: {', '.join(PRECISIONS)}"
+                )
+
+    def precision_for(self, layer_name: str) -> str:
+        return self.overrides.get(layer_name, self.default)
+
+    def validate(self, network: Network) -> None:
+        """Raise if an override names a layer ``network`` doesn't have."""
+        known = {layer.name for layer in network.layers}
+        unknown = sorted(set(self.overrides) - known)
+        if unknown:
+            raise FTDLError(
+                f"precision overrides name unknown layers of "
+                f"{network.name!r}: {unknown}"
+            )
+
+
+@dataclass(frozen=True)
+class LayerPrecisionRow:
+    """One accelerated layer's outcome under a :class:`PrecisionSpec`."""
+
+    name: str
+    precision: str
+    sqnr_db: float
+    stored_bytes: int
+
+
+@dataclass(frozen=True)
+class MixedPrecisionReport:
+    """Whole-network mixed-precision accounting + per-layer error."""
+
+    network_name: str
+    rows: tuple[LayerPrecisionRow, ...]
+    #: Stored model bytes under the spec (weight groups counted once).
+    model_bytes: int
+    #: Stored model bytes at uniform int16 (the paper's deployment).
+    int16_bytes: int
+
+    @property
+    def compression(self) -> float:
+        return self.int16_bytes / self.model_bytes if self.model_bytes else 0.0
+
+    @property
+    def min_sqnr_db(self) -> float:
+        finite = [r.sqnr_db for r in self.rows if np.isfinite(r.sqnr_db)]
+        return min(finite) if finite else float("inf")
+
+
+def mixed_precision_report(
+    network: Network,
+    spec: PrecisionSpec,
+    rng: np.random.Generator,
+) -> MixedPrecisionReport:
+    """Evaluate ``network`` under ``spec``: per-layer SQNR + model size.
+
+    Per-layer error runs on Gaussian operands shaped for the layer
+    (int8/int16 through the bit-true integer pipeline, bf16 through
+    mantissa-rounded float).  Model bytes honor ``weight_group`` sharing
+    and skip run-time-streamed (``weight_source``) and host layers.
+    """
+    spec.validate(network)
+    rows = []
+    group_bytes: dict[str, int] = {}
+    for layer in network.accelerated_layers():
+        precision = spec.precision_for(layer.name)
+        if isinstance(layer, ConvLayer):
+            w_shape = (layer.out_channels, layer.group_in_channels,
+                       layer.kernel_h, layer.kernel_w)
+            a_shape = (layer.in_channels, layer.in_h, layer.in_w)
+        else:
+            w_shape = (layer.out_features, layer.in_features)
+            a_shape = (layer.in_features, layer.batch)
+        weights = rng.normal(scale=0.5, size=w_shape)
+        acts = rng.normal(scale=1.0, size=a_shape)
+        if precision == "bf16":
+            report = bf16_layer_error(layer, weights, acts)
+        else:
+            report = quantized_layer_error(
+                layer, weights, acts, n_bits=8 if precision == "int8" else 16
+            )
+        stored = layer.parameter_words * PRECISION_BYTES[precision]
+        rows.append(LayerPrecisionRow(
+            name=layer.name, precision=precision,
+            sqnr_db=report.sqnr_db, stored_bytes=stored,
+        ))
+        if layer.parameter_words:
+            key = getattr(layer, "weight_group", None) or layer.name
+            group_bytes.setdefault(key, stored)
+    return MixedPrecisionReport(
+        network_name=network.name,
+        rows=tuple(rows),
+        model_bytes=sum(group_bytes.values()),
+        int16_bytes=network.weight_bytes,
     )
 
 

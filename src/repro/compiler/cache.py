@@ -126,7 +126,15 @@ class ScheduleCache:
             for incremental search reuse.  Defaults to a fresh memo
             private to this cache; pass one in to share across caches
             (e.g. across batch-size or fault-mask recompiles).
+        spatial_beam: Optional override of the search's spatial beam
+            width.  ``None`` (default) keeps the search default; smaller
+            beams trade schedule quality for compile time (the
+            conformance harness's budget mode uses this).
+        temporal_beam: Optional override of the search's temporal beam
+            width; same semantics as ``spatial_beam``.
     """
+
+    _SEARCH_DEFAULT = object()
 
     def __init__(
         self,
@@ -137,6 +145,8 @@ class ScheduleCache:
         metrics: MetricsRegistry | None = None,
         store: "PersistentScheduleStore | None" = None,
         temporal_memo: TemporalMemo | None = None,
+        spatial_beam: int | None | object = _SEARCH_DEFAULT,
+        temporal_beam: int | None | object = _SEARCH_DEFAULT,
     ):
         if max_entries is not None and max_entries < 1:
             raise ScheduleError(
@@ -151,6 +161,11 @@ class ScheduleCache:
         self.temporal_memo = (
             temporal_memo if temporal_memo is not None else TemporalMemo()
         )
+        self._beam_kwargs: dict[str, int | None] = {}
+        if spatial_beam is not ScheduleCache._SEARCH_DEFAULT:
+            self._beam_kwargs["spatial_beam"] = spatial_beam
+        if temporal_beam is not ScheduleCache._SEARCH_DEFAULT:
+            self._beam_kwargs["temporal_beam"] = temporal_beam
         self._cache: OrderedDict[tuple, Schedule] = OrderedDict()
         self._step_base = 0
         self.misses = 0
@@ -266,6 +281,7 @@ class ScheduleCache:
             tracer=self.tracer, metrics=self.metrics,
             step_base=self._step_base,
             temporal_memo=self.temporal_memo,
+            **self._beam_kwargs,
         )
         schedule = search.run()[0]
         self._step_base += search.steps

@@ -1,11 +1,17 @@
-"""Host-CPU execution of EWOP layers (paper §II-A).
+"""Host-CPU execution of host-side layers (paper §II-A).
 
 FTDL accelerates CONV and MM only; activations, pooling, residual adds —
 the EWOP category — run on the host CPU, pipelined with the overlay.  This
 module is that host: bit-true int16 implementations of the common EWOPs,
-plus requantization of the overlay's wide accumulators back to 16-bit
-activations, and a simple throughput model so the pipeline simulator can
-check the paper's claim that performance "is not bounded by these layers".
+the transformer-suite host layers (eltwise add/mul, fixed-point softmax,
+integer layernorm), requantization of the overlay's wide accumulators back
+to 16-bit activations, and a simple throughput model so the pipeline
+simulator can check the paper's claim that performance "is not bounded by
+these layers".
+
+The softmax and layernorm kernels are pure integer arithmetic (no libm):
+their outputs are a deterministic function of the int16 inputs alone, so
+CI golden files stay byte-stable across platforms and BLAS builds.
 """
 
 from __future__ import annotations
@@ -16,7 +22,14 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.fixedpoint import to_int16
-from repro.workloads.layers import EwopLayer
+from repro.workloads.layers import (
+    EltwiseLayer,
+    EwopLayer,
+    LayerNormLayer,
+    SoftmaxLayer,
+)
+
+HostLayer = EwopLayer | EltwiseLayer | SoftmaxLayer | LayerNormLayer
 
 
 def requantize(acc: np.ndarray, shift: int) -> np.ndarray:
@@ -74,9 +87,113 @@ def _pool(x: np.ndarray, kernel: int, stride: int, padding: int,
     return to_int16(windows.sum(axis=0) // (kernel * kernel))
 
 
+# --------------------------------------------------------------------- #
+# Transformer-suite host kernels — pure integer, bit-reproducible.
+# --------------------------------------------------------------------- #
+
+#: log2(e) in Q15 — converts a natural-units exponent to a base-2 one.
+_LOG2E_Q15 = 47274
+#: Quadratic minimax coefficients for 2**f, f in [0, 1), Q15.
+_POW2_C1_Q15 = 21507
+_POW2_C2_Q15 = 11261
+
+
+def _isqrt_i64(v: np.ndarray) -> np.ndarray:
+    """Exact elementwise floor(sqrt(v)) for non-negative int64 arrays.
+
+    Seeds from the float sqrt and repairs the few-ULP error with integer
+    comparisons, so the result is independent of the platform's libm.
+    """
+    v = np.asarray(v, dtype=np.int64)
+    if np.any(v < 0):
+        raise SimulationError("isqrt of a negative value")
+    r = np.sqrt(v.astype(np.float64)).astype(np.int64)
+    r = np.maximum(r, 0)
+    for _ in range(4):  # float seed is within a couple of ULPs
+        over = r * r > v
+        r = np.where(over, r - 1, r)
+        under = (r + 1) * (r + 1) <= v
+        r = np.where(under, r + 1, r)
+        if not (np.any(over) or np.any(under)):
+            break
+    return r
+
+
+def eltwise_int16(x: np.ndarray, y: np.ndarray, op: str,
+                  shift: int = 0) -> np.ndarray:
+    """Element-wise int16 add/mul with post-op requantization.
+
+    The sum/product is formed in int64 and pushed back to int16 via
+    :func:`requantize` (round-half-up shift, saturate) — the same layer
+    boundary treatment the overlay's accumulators get.
+    """
+    x = to_int16(x).astype(np.int64)
+    y = to_int16(y).astype(np.int64)
+    if x.shape != y.shape:
+        raise SimulationError(
+            f"eltwise operand shapes differ: {x.shape} vs {y.shape}"
+        )
+    if op == "add":
+        wide = x + y
+    elif op == "mul":
+        wide = x * y
+    else:
+        raise SimulationError(f"unknown eltwise op {op!r}")
+    return requantize(wide, shift)
+
+
+def softmax_q15(x: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Fixed-point softmax along axis 0, returning Q15 probabilities.
+
+    Inputs are int16 logits with ``frac_bits`` fractional bits.  The
+    kernel is base-2 throughout: ``exp(x - max)`` becomes
+    ``2**(-(d * log2 e))`` with the fractional power evaluated by a Q15
+    quadratic, and the final normalization divides by the column sum so
+    each column sums to ~32767 regardless of the pow2 approximation.
+    """
+    if x.ndim != 2:
+        raise SimulationError(f"softmax expects a 2-D (F, B) array, got {x.shape}")
+    x = to_int16(x).astype(np.int64)
+    d = x.max(axis=0, keepdims=True) - x  # >= 0, units of 2**-frac_bits
+    t = (d * _LOG2E_Q15) >> frac_bits     # base-2 exponent, Q15
+    int_part = t >> 15
+    frac = t & 0x7FFF
+    poly = 32768 + (
+        (frac * (_POW2_C1_Q15 + ((_POW2_C2_Q15 * frac) >> 15))) >> 15
+    )  # 2**(frac/2**15) in [1, 2), Q15
+    inv = (1 << 30) // poly               # 2**(-frac/2**15) in (0.5, 1], Q15
+    shift_amt = np.minimum(int_part, 40)
+    v = np.where(int_part >= 40, 0, inv >> shift_amt)
+    s = v.sum(axis=0, keepdims=True)
+    # The max element always contributes 2**0 = 32768, so s > 0.
+    return to_int16((v * 32767 + s // 2) // s)
+
+
+def layernorm_int16(x: np.ndarray, out_frac_bits: int) -> np.ndarray:
+    """Integer layernorm along axis 0: (x - mean) / std in Qout_frac_bits.
+
+    Mean uses round-half-up integer division; the standard deviation is an
+    exact integer sqrt of the Q16-scaled variance, and the final division
+    floors — every step is integer, so outputs are platform-invariant.
+    Affine scale/shift is assumed folded into the neighbouring MM layer.
+    """
+    if x.ndim != 2:
+        raise SimulationError(
+            f"layernorm expects a 2-D (F, B) array, got {x.shape}"
+        )
+    x = to_int16(x).astype(np.int64)
+    n = x.shape[0]
+    s = x.sum(axis=0, keepdims=True)
+    mu = (2 * s + n) // (2 * n)           # round-half-up mean
+    c = x - mu
+    var_q16 = ((c * c).sum(axis=0, keepdims=True) << 16) // n
+    std_q8 = np.maximum(_isqrt_i64(var_q16), 1)
+    return to_int16((c << (out_frac_bits + 8)) // std_q8)
+
+
 @dataclass
 class HostCpu:
-    """Executes EWOP layers and accounts their cost.
+    """Executes host-side layers and accounts their cost.
 
     Attributes:
         ops_per_cycle: Host arithmetic throughput, in EWOP operations per
@@ -90,24 +207,35 @@ class HostCpu:
     ops_per_cycle: float = 16.0
     total_ops: int = 0
 
-    def cycles_for(self, layer: EwopLayer) -> int:
+    def cycles_for(self, layer: HostLayer) -> int:
         """Equivalent overlay cycles the host spends on ``layer``."""
         return int(-(-layer.ops // self.ops_per_cycle))
 
-    def execute(self, layer: EwopLayer, x: np.ndarray,
+    def execute(self, layer: HostLayer, x: np.ndarray,
                 skip: np.ndarray | None = None) -> np.ndarray:
-        """Run one EWOP layer on int16 activations.
+        """Run one host layer on int16 activations.
 
         Args:
-            layer: The EWOP to run (op mnemonic + params).
+            layer: The host layer to run (EWOP mnemonic + params, or an
+                eltwise/softmax/layernorm layer).
             x: Primary input tensor (int16).
-            skip: Second operand for residual adds.
+            skip: Second operand for residual adds / eltwise layers.
 
         Raises:
             SimulationError: for unknown ops or missing operands.
         """
         x = to_int16(x)
         self.total_ops += layer.ops
+        if isinstance(layer, EltwiseLayer):
+            if skip is None:
+                raise SimulationError(
+                    f"{layer.name!r} needs a second eltwise operand"
+                )
+            return eltwise_int16(x, skip, layer.op, layer.shift)
+        if isinstance(layer, SoftmaxLayer):
+            return softmax_q15(x, layer.frac_bits)
+        if isinstance(layer, LayerNormLayer):
+            return layernorm_int16(x, layer.out_frac_bits)
         if layer.op == "relu":
             return np.maximum(x, 0)
         if layer.op in ("add", "add_relu"):

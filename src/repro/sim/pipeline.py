@@ -26,7 +26,14 @@ from repro.fixedpoint import to_int16
 from repro.overlay.config import OverlayConfig
 from repro.sim.cycle import CycleSimulator, LayerRun
 from repro.sim.host import HostCpu, choose_shift, requantize
-from repro.workloads.layers import ConvLayer, LayerKind, MatMulLayer
+from repro.workloads.layers import (
+    HOST_KINDS,
+    NETWORK_INPUT,
+    ConvLayer,
+    EltwiseLayer,
+    LayerKind,
+    MatMulLayer,
+)
 from repro.workloads.network import Network
 
 AcceleratedLayer = ConvLayer | MatMulLayer
@@ -84,6 +91,19 @@ class NetworkSimulator:
             return (layer.in_channels, layer.in_h, layer.in_w)
         return (layer.in_features, layer.batch)
 
+    @staticmethod
+    def _reshape_for_host(layer, activation: np.ndarray) -> np.ndarray:
+        """Coerce the chained activation to the host layer's (F, B) shape."""
+        expected = (layer.n_features, layer.batch)
+        if activation.shape == expected:
+            return activation
+        if activation.size == layer.n_features * layer.batch:
+            return activation.reshape(expected)
+        raise SimulationError(
+            f"layer {layer.name!r} expects input {expected}, "
+            f"chain carries {activation.shape}"
+        )
+
     def run(
         self,
         network: Network,
@@ -107,13 +127,27 @@ class NetworkSimulator:
         """
         activation = to_int16(inputs)
         run = PipelineRun(output=activation)
+        saved: dict[str, np.ndarray] = {NETWORK_INPUT: activation}
         for layer in network.layers:
-            if layer.kind == LayerKind.EWOP:
-                activation = self.host.execute(layer, activation)
+            if layer.kind in HOST_KINDS:
+                skip = None
+                if isinstance(layer, EltwiseLayer) and layer.source:
+                    if layer.source not in saved:
+                        raise SimulationError(
+                            f"eltwise layer {layer.name!r} references "
+                            f"unknown source {layer.source!r}"
+                        )
+                    skip = saved[layer.source]
+                if layer.kind != LayerKind.EWOP:
+                    activation = self._reshape_for_host(layer, activation)
+                    if skip is not None:
+                        skip = self._reshape_for_host(layer, skip)
+                activation = self.host.execute(layer, activation, skip=skip)
                 host_cycles = self.host.cycles_for(layer)
                 run.host_cycles += host_cycles
+                saved[layer.name] = activation
                 run.stages.append(StageResult(
-                    name=layer.name, kind="ewop",
+                    name=layer.name, kind=layer.kind.value,
                     overlay_cycles=0, host_cycles=host_cycles, shift=0,
                 ))
                 continue
@@ -126,17 +160,39 @@ class NetworkSimulator:
                     f"layer {layer.name!r} expects input {expected}, "
                     f"chain carries {activation.shape}"
                 )
-            if layer.name not in weights:
+            source = getattr(layer, "weight_source", None)
+            if layer.name in weights:
+                layer_weights = weights[layer.name]
+            elif source is not None:
+                # Attention-style matmul: the "weight" operand is a
+                # run-time activation produced earlier in the chain.
+                if source not in saved:
+                    raise SimulationError(
+                        f"layer {layer.name!r} streams weights from "
+                        f"unknown source {source!r}"
+                    )
+                streamed = saved[source]
+                if streamed.size != layer.out_features * layer.in_features:
+                    raise SimulationError(
+                        f"layer {layer.name!r} weight source {source!r} has "
+                        f"{streamed.size} words, needs "
+                        f"{layer.out_features * layer.in_features}"
+                    )
+                layer_weights = streamed.reshape(
+                    layer.out_features, layer.in_features
+                )
+            else:
                 raise SimulationError(f"no weights provided for {layer.name!r}")
 
             schedule = self._cache.schedule(layer)
             compiled = compile_schedule(schedule)
             layer_run: LayerRun = self._simulator.run_layer(
-                compiled, weights[layer.name], activation,
+                compiled, layer_weights, activation,
                 check_golden=check_golden,
             )
             shift = choose_shift(layer_run.output)
             activation = requantize(layer_run.output, shift)
+            saved[layer.name] = activation
             run.overlay_cycles += layer_run.cycles
             run.stages.append(StageResult(
                 name=layer.name, kind=layer.kind.value,

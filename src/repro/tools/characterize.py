@@ -12,7 +12,7 @@ import argparse
 import sys
 
 from repro.errors import FTDLError
-from repro.workloads.layers import LayerKind
+from repro.workloads.layers import HOST_KINDS
 from repro.workloads.mlperf import MLPERF_MODELS, build_model, table1_rows
 
 
@@ -43,8 +43,10 @@ def main(argv: list[str] | None = None) -> int:
                   f"EWOP {breakdown.ewop_fraction:.2%}")
             if args.layers:
                 for layer in net.layers:
-                    if layer.kind == LayerKind.EWOP:
-                        print(f"  {layer.name:26s} EWOP {layer.op:14s} "
+                    if layer.kind in HOST_KINDS:
+                        mnemonic = getattr(layer, "op", layer.kind.value)
+                        print(f"  {layer.name:26s} "
+                              f"{layer.kind.value.upper():8s} {mnemonic:14s} "
                               f"{layer.ops:>12,d} ops")
                     else:
                         print(f"  {layer.name:26s} {layer.kind.value.upper():4s} "

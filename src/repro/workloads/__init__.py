@@ -7,26 +7,50 @@ analytical model's ``f_act`` / ``f_psum`` terms.
 """
 
 from repro.workloads.layers import (
+    ACCELERATED_KINDS,
+    HOST_KINDS,
+    NETWORK_INPUT,
     LayerKind,
     LoopDim,
     ConvLayer,
     MatMulLayer,
     EwopLayer,
+    EltwiseLayer,
+    SoftmaxLayer,
+    LayerNormLayer,
     PoolLayer,
 )
 from repro.workloads.network import Network, OpBreakdown
 from repro.workloads.mlperf import MLPERF_MODELS, build_model, table1_rows
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadSpec,
+    build_workload,
+    register_workload,
+    registered_workloads,
+)
 
 __all__ = [
+    "ACCELERATED_KINDS",
+    "HOST_KINDS",
+    "NETWORK_INPUT",
     "LayerKind",
     "LoopDim",
     "ConvLayer",
     "MatMulLayer",
     "EwopLayer",
+    "EltwiseLayer",
+    "SoftmaxLayer",
+    "LayerNormLayer",
     "PoolLayer",
     "Network",
     "OpBreakdown",
     "MLPERF_MODELS",
     "build_model",
     "table1_rows",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_workload",
+    "register_workload",
+    "registered_workloads",
 ]

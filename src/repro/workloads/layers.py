@@ -13,8 +13,11 @@ Loop naming follows the paper:
 * MM (paper Fig. 5 notation): ``M`` input features (the reduction), ``N``
   output features, ``P`` batch columns.
 
-EWOP layers (activations, element-wise adds, pooling) run on the host CPU
-in the paper's system and are only *accounted*, never scheduled.
+Host layers (EWOP activations/pooling plus the first-class ELTWISE /
+SOFTMAX / NORM kinds added for transformer workloads) run on the host CPU
+in the paper's system: they are *accounted* and functionally executed by
+:mod:`repro.sim.host`, never scheduled onto the TPE grid, and they
+perform **zero MACCs** — the honesty the efficiency analysis depends on.
 """
 
 from __future__ import annotations
@@ -31,6 +34,18 @@ class LayerKind(enum.Enum):
     CONV = "conv"
     MM = "mm"
     EWOP = "ewop"
+    ELTWISE = "eltwise"
+    SOFTMAX = "softmax"
+    NORM = "norm"
+
+
+#: Kinds the overlay schedules (MACC loop nests on the TPE grid).
+ACCELERATED_KINDS = frozenset({LayerKind.CONV, LayerKind.MM})
+
+#: Kinds the host CPU executes (0 MACCs; accounted, never scheduled).
+HOST_KINDS = frozenset({
+    LayerKind.EWOP, LayerKind.ELTWISE, LayerKind.SOFTMAX, LayerKind.NORM,
+})
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,19 @@ class _AcceleratedLayer:
     def weight_words(self) -> int:
         """Unique weight words (product of weight-indexing trip counts)."""
         return prod(d.size for d in self.loop_dims() if d.in_weights)
+
+    @property
+    def parameter_words(self) -> int:
+        """Weight words that are *model parameters* (stored in the model).
+
+        Layers whose "weight" operand is produced at run time by another
+        layer (attention score / mixing matmuls, see
+        :attr:`MatMulLayer.weight_source`) still stream ``weight_words``
+        through WBUF but contribute nothing to the model's size.
+        """
+        if getattr(self, "weight_source", None) is not None:
+            return 0
+        return self.weight_words
 
     @property
     def output_words(self) -> int:
@@ -277,7 +305,12 @@ class MatMulLayer(_AcceleratedLayer):
     """A matrix-multiply layer (K = 3): ``out[N, P] = W[N, M] @ act[M, P]``.
 
     Fully connected layers have ``batch = 1``; LSTM gate computations fold
-    their four gates into ``out_features``.
+    their four gates into ``out_features``.  Attention workloads set
+    ``weight_source``: the "weight" matrix is then another layer's run-time
+    output (K for the score matmul, the softmaxed scores for the mixing
+    matmul).  Such layers schedule and stream exactly like weighted MMs —
+    the overlay stages the operand into WBUF either way — but they hold no
+    stored parameters (``parameter_words == 0``).
     """
 
     name: str
@@ -285,11 +318,17 @@ class MatMulLayer(_AcceleratedLayer):
     out_features: int
     batch: int = 1
     weight_group: str | None = None
+    weight_source: str | None = None
     kind: LayerKind = LayerKind.MM
 
     def __post_init__(self) -> None:
         if min(self.in_features, self.out_features, self.batch) < 1:
             raise WorkloadError(f"mm layer {self.name!r} has invalid shape")
+        if self.weight_source is not None and self.weight_group is not None:
+            raise WorkloadError(
+                f"mm layer {self.name!r}: a run-time weight_source cannot "
+                f"join a stored weight_group"
+            )
 
     def loop_dims(self) -> tuple[LoopDim, ...]:
         return (
@@ -367,7 +406,16 @@ class EwopLayer:
         return self.n_elements * self.ops_per_element
 
     @property
+    def maccs(self) -> int:
+        """EWOPs run on the host: zero overlay MACCs, honestly."""
+        return 0
+
+    @property
     def weight_words(self) -> int:
+        return 0
+
+    @property
+    def parameter_words(self) -> int:
         return 0
 
 
@@ -397,3 +445,210 @@ def PoolLayer(
         ops_per_element=kernel * kernel,
         params=(("kernel", kernel), ("stride", stride), ("padding", padding)),
     )
+
+
+# --------------------------------------------------------------------- #
+# first-class host layers (transformer suite)
+# --------------------------------------------------------------------- #
+
+#: Reserved :attr:`EltwiseLayer.source` naming the network's own input.
+NETWORK_INPUT = "@input"
+
+#: Operations charged per element of a fixed-point softmax (max-subtract,
+#: shift decompose, pow2 interpolation, normalize divide, clamp).
+SOFTMAX_OPS_PER_ELEMENT = 5
+
+#: Operations charged per element of an integer layernorm (mean subtract,
+#: square, two reductions amortized, isqrt share, scale divide, clamp).
+NORM_OPS_PER_ELEMENT = 6
+
+
+class _HostLayerBase:
+    """Shared interface of the first-class host layer kinds.
+
+    These layers operate on ``(n_features, batch)`` int16 activation
+    tensors — the same layout an MM layer's output ``(N, P)`` carries —
+    and run on the host CPU (:mod:`repro.sim.host`).  They expose the
+    same introspection surface as accelerated layers (``loop_dims`` /
+    coordinate maps / ``out_shape``) so tests can check the vectorized
+    host kernels against naive per-element enumerators, but they perform
+    **zero MACCs**: the overlay never schedules them and the efficiency
+    analysis must not credit them with TPE work.
+    """
+
+    name: str
+    kind: LayerKind
+    n_features: int
+    batch: int
+
+    @property
+    def n_elements(self) -> int:
+        return self.n_features * self.batch
+
+    #: Operations charged per output element; subclasses override.
+    ops_per_element: int = 1
+
+    @property
+    def ops(self) -> int:
+        return self.n_elements * self.ops_per_element
+
+    @property
+    def maccs(self) -> int:
+        """Host layers perform no overlay MACCs."""
+        return 0
+
+    @property
+    def weight_words(self) -> int:
+        return 0
+
+    @property
+    def parameter_words(self) -> int:
+        return 0
+
+    def loop_dims(self) -> tuple[LoopDim, ...]:
+        """The element lattice: ``F`` features x ``B`` batch columns.
+
+        Neither dimension is a *MACC* reduction (there is no weight
+        operand); SOFTMAX/NORM additionally reduce along ``F`` inside
+        each batch column to form their normalizers.
+        """
+        return (
+            LoopDim("F", self.n_features, reduction=False,
+                    in_weights=False, in_acts=True),
+            LoopDim("B", self.batch, reduction=False,
+                    in_weights=False, in_acts=True),
+        )
+
+    @property
+    def loop_sizes(self) -> dict[str, int]:
+        return {d.name: d.size for d in self.loop_dims()}
+
+    def act_coord(self, idx: dict[str, int]) -> tuple[int, int]:
+        """Input-tensor coordinates for one element index."""
+        return (idx["F"], idx["B"])
+
+    def out_coord(self, idx: dict[str, int]) -> tuple[int, int]:
+        """Output-tensor coordinates (host layers are shape-preserving)."""
+        return (idx["F"], idx["B"])
+
+    def out_shape(self) -> tuple[int, int]:
+        return (self.n_features, self.batch)
+
+    def _validate_shape(self) -> None:
+        if min(self.n_features, self.batch) < 1:
+            raise WorkloadError(
+                f"{self.kind.value} layer {self.name!r} has invalid shape"
+            )
+
+
+@dataclass(frozen=True)
+class EltwiseLayer(_HostLayerBase):
+    """An element-wise binary layer (residual add, gating multiply).
+
+    Attributes:
+        name: Layer identifier.
+        op: ``"add"`` (saturating int16 sum) or ``"mul"`` (int16 product
+            arithmetically right-shifted by ``shift``, then saturated).
+        n_features / batch: Tensor shape ``(n_features, batch)``.
+        source: Name of the earlier layer whose *output* supplies the
+            second operand, or :data:`NETWORK_INPUT` for the network's
+            input tensor (the transformer residual path).  ``None``
+            means the caller passes the operand explicitly.
+        shift: Right shift applied to ``mul`` products (fixed-point
+            rescale); ignored for ``add``.
+    """
+
+    name: str
+    op: str
+    n_features: int
+    batch: int = 1
+    source: str | None = None
+    shift: int = 0
+    kind: LayerKind = LayerKind.ELTWISE
+
+    #: Both eltwise ops are one arithmetic operation per element.
+    ops_per_element = 1
+
+    def __post_init__(self) -> None:
+        self._validate_shape()
+        if self.op not in ("add", "mul"):
+            raise WorkloadError(
+                f"eltwise layer {self.name!r}: unknown op {self.op!r}"
+            )
+        if self.shift < 0:
+            raise WorkloadError(
+                f"eltwise layer {self.name!r}: shift must be >= 0"
+            )
+
+    def src_coord(self, idx: dict[str, int]) -> tuple[int, int]:
+        """Second-operand coordinates (element-aligned with the input)."""
+        return (idx["F"], idx["B"])
+
+
+@dataclass(frozen=True)
+class SoftmaxLayer(_HostLayerBase):
+    """A fixed-point softmax along the feature axis of each batch column.
+
+    The kernel is a base-2 softmax computed entirely in integer
+    arithmetic (max-subtract, power-of-two decomposition with linear
+    interpolation of the fractional part, integer normalization), so it
+    is bit-reproducible across platforms — see
+    :func:`repro.sim.host.softmax_q15`.  Outputs are Q15 probabilities.
+
+    Attributes:
+        name: Layer identifier.
+        n_features: Softmax width (attention keys, or classes).
+        batch: Independent columns (attention queries, or batch).
+        frac_bits: Fractional bits of the logit scale — logits are read
+            as Q\\ ``frac_bits`` fixed point, i.e. the temperature is
+            ``2**frac_bits``.
+    """
+
+    name: str
+    n_features: int
+    batch: int = 1
+    frac_bits: int = 5
+    kind: LayerKind = LayerKind.SOFTMAX
+
+    ops_per_element = SOFTMAX_OPS_PER_ELEMENT
+
+    def __post_init__(self) -> None:
+        self._validate_shape()
+        if not 0 <= self.frac_bits <= 14:
+            raise WorkloadError(
+                f"softmax layer {self.name!r}: frac_bits out of range"
+            )
+
+
+@dataclass(frozen=True)
+class LayerNormLayer(_HostLayerBase):
+    """An integer layernorm along the feature axis of each batch column.
+
+    Mean and variance use exact floor division, the standard deviation is
+    an exact integer square root, and the normalized output is scaled to
+    Q\\ ``out_frac_bits`` — all integer, all bit-reproducible (see
+    :func:`repro.sim.host.layernorm_int16`).  The affine gamma/beta pair
+    is folded into the adjacent projection weights, as inference
+    deployments do with batch norm.
+
+    Attributes:
+        name: Layer identifier.
+        n_features: Normalization width (``d_model``).
+        batch: Independent columns (sequence positions x batch).
+        out_frac_bits: Fractional bits of the normalized output scale.
+    """
+
+    name: str
+    n_features: int
+    batch: int = 1
+    out_frac_bits: int = 7
+    kind: LayerKind = LayerKind.NORM
+
+    ops_per_element = NORM_OPS_PER_ELEMENT
+
+    def __post_init__(self) -> None:
+        self._validate_shape()
+        if not 0 <= self.out_frac_bits <= 14:
+            raise WorkloadError(
+                f"norm layer {self.name!r}: out_frac_bits out of range"
+            )

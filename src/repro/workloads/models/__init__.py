@@ -6,6 +6,13 @@ from repro.workloads.models.alphagozero import build_alphagozero
 from repro.workloads.models.sentiment import build_seqcnn, build_seqlstm
 from repro.workloads.models.smallcnn import build_smallcnn
 from repro.workloads.models.mobilenet import build_mobilenet_v1
+from repro.workloads.models.transformer import (
+    TransformerConfig,
+    build_tiny_attention,
+    build_transformer,
+    build_transformer_mlp,
+    transformer_precision_spec,
+)
 
 __all__ = [
     "build_googlenet",
@@ -15,4 +22,9 @@ __all__ = [
     "build_seqlstm",
     "build_smallcnn",
     "build_mobilenet_v1",
+    "TransformerConfig",
+    "build_transformer",
+    "build_transformer_mlp",
+    "build_tiny_attention",
+    "transformer_precision_spec",
 ]

@@ -1,0 +1,241 @@
+"""Transformer-block workloads: attention, MLP, and mixed precision.
+
+The FTDL paper validates on five CNN/LSTM networks; this family stresses
+the matmul-heavy side of the design space the way the Koios benchmark
+suite does for FPGA CAD — attention blocks, a plain MLP, and a
+mixed-precision variant.
+
+Mapping onto the overlay follows the paper's split: every projection and
+attention matmul is a :class:`MatMulLayer` (scheduled on the D1/D2/D3
+grid, K = 3 nest), while residual adds, softmax, and layernorm are
+host-side layers (§II-A: "processed by host CPU in a pipeline fashion").
+
+Attention's score (``Q·Kᵀ``) and mix (``A·V``) matmuls have no stored
+parameters — their "weight" operand is a run-time activation.  They are
+modelled as :class:`MatMulLayer` with ``weight_source`` naming the
+producing layer: scheduling, cycle simulation, and bandwidth accounting
+treat them as weight-streaming MMs (which is exactly how the overlay
+executes them), while model-size accounting (``parameter_words``) counts
+zero stored words.  The streamed operand fills the (out, in) weight
+matrix in row-major order of the producer's output words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.quantization import PrecisionSpec
+from repro.errors import WorkloadError
+from repro.workloads.layers import (
+    NETWORK_INPUT,
+    EltwiseLayer,
+    EwopLayer,
+    LayerNormLayer,
+    MatMulLayer,
+    SoftmaxLayer,
+)
+from repro.workloads.network import AnyLayer, Network
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape of one encoder stack.
+
+    Attributes:
+        d_model: Embedding width (must divide evenly into heads).
+        n_heads: Attention heads per block.
+        seq_len: Tokens per sequence — the MM batch dimension.
+        d_ff: Feed-forward hidden width.
+        n_blocks: Encoder blocks stacked.
+        n_classes: Classification head width.
+    """
+
+    d_model: int = 128
+    n_heads: int = 4
+    seq_len: int = 32
+    d_ff: int = 256
+    n_blocks: int = 2
+    n_classes: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("d_model", "n_heads", "seq_len", "d_ff", "n_blocks",
+                     "n_classes"):
+            if getattr(self, name) < 1:
+                raise WorkloadError(f"{name} must be >= 1")
+        if self.d_model % self.n_heads:
+            raise WorkloadError(
+                f"d_model ({self.d_model}) must be divisible by "
+                f"n_heads ({self.n_heads})"
+            )
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+
+def _attention_block(cfg: TransformerConfig, b: int,
+                     block_input: str) -> list[AnyLayer]:
+    """One pre-norm encoder block; ``block_input`` names the residual tap."""
+    d, s = cfg.d_model, cfg.seq_len
+    layers: list[AnyLayer] = [
+        LayerNormLayer(name=f"b{b}.ln1", n_features=d, batch=s),
+    ]
+    for proj in ("q", "k", "v"):
+        layers.append(MatMulLayer(
+            name=f"b{b}.{proj}", in_features=d, out_features=d, batch=s,
+        ))
+    for h in range(cfg.n_heads):
+        # score = Q_h · K_hᵀ: the K projection streams through the weight
+        # port; the softmaxed scores then stream as the mix weights.
+        layers.append(MatMulLayer(
+            name=f"b{b}.h{h}.score", in_features=cfg.d_head,
+            out_features=s, batch=s, weight_source=f"b{b}.k",
+        ))
+        layers.append(SoftmaxLayer(
+            name=f"b{b}.h{h}.softmax", n_features=s, batch=s,
+        ))
+        layers.append(MatMulLayer(
+            name=f"b{b}.h{h}.mix", in_features=s,
+            out_features=cfg.d_head, batch=s, weight_source=f"b{b}.v",
+        ))
+    layers.append(MatMulLayer(
+        name=f"b{b}.out", in_features=d, out_features=d, batch=s,
+    ))
+    layers.append(EltwiseLayer(
+        name=f"b{b}.res1", op="add", n_features=d, batch=s,
+        source=block_input,
+    ))
+    layers.append(LayerNormLayer(name=f"b{b}.ln2", n_features=d, batch=s))
+    layers.append(MatMulLayer(
+        name=f"b{b}.ffn1", in_features=d, out_features=cfg.d_ff, batch=s,
+    ))
+    layers.append(EwopLayer(
+        name=f"b{b}.gelu", op="relu", n_elements=cfg.d_ff * s,
+    ))
+    layers.append(MatMulLayer(
+        name=f"b{b}.ffn2", in_features=cfg.d_ff, out_features=d, batch=s,
+    ))
+    layers.append(EltwiseLayer(
+        name=f"b{b}.res2", op="add", n_features=d, batch=s,
+        source=f"b{b}.res1",
+    ))
+    return layers
+
+
+def build_transformer(cfg: TransformerConfig | None = None) -> Network:
+    """Build an encoder-stack inference workload (one sequence)."""
+    cfg = cfg or TransformerConfig()
+    layers: list[AnyLayer] = []
+    block_input = NETWORK_INPUT
+    for b in range(cfg.n_blocks):
+        layers.extend(_attention_block(cfg, b, block_input))
+        block_input = f"b{b}.res2"
+    layers.append(LayerNormLayer(
+        name="final.ln", n_features=cfg.d_model, batch=cfg.seq_len,
+    ))
+    layers.append(MatMulLayer(
+        name="final.head", in_features=cfg.d_model,
+        out_features=cfg.n_classes, batch=cfg.seq_len,
+    ))
+    layers.append(SoftmaxLayer(
+        name="final.softmax", n_features=cfg.n_classes, batch=cfg.seq_len,
+    ))
+    return Network(
+        name=f"Transformer-{cfg.d_model}x{cfg.n_heads}h{cfg.seq_len}",
+        application="Attention",
+        layers=tuple(layers),
+    )
+
+
+#: Hidden widths of the default MLP benchmark (Koios-style dense stack).
+MLP_WIDTHS = (256, 256, 128)
+
+
+def build_transformer_mlp(
+    in_features: int = 128,
+    widths: tuple[int, ...] = MLP_WIDTHS,
+    n_classes: int = 16,
+    batch: int = 8,
+) -> Network:
+    """A plain MLP: MM → relu stacks with a layernorm and softmax head.
+
+    Fully sequential (each layer consumes its predecessor), so the
+    bit-true :class:`~repro.sim.pipeline.NetworkSimulator` can chain it
+    end to end.
+    """
+    if not widths:
+        raise WorkloadError("MLP needs at least one hidden width")
+    layers: list[AnyLayer] = []
+    previous = in_features
+    for i, width in enumerate(widths):
+        layers.append(MatMulLayer(
+            name=f"fc{i}", in_features=previous, out_features=width,
+            batch=batch,
+        ))
+        layers.append(EwopLayer(
+            name=f"relu{i}", op="relu", n_elements=width * batch,
+        ))
+        previous = width
+    layers.append(LayerNormLayer(
+        name="norm", n_features=previous, batch=batch,
+    ))
+    layers.append(MatMulLayer(
+        name="head", in_features=previous, out_features=n_classes,
+        batch=batch,
+    ))
+    layers.append(SoftmaxLayer(
+        name="softmax", n_features=n_classes, batch=batch,
+    ))
+    return Network(
+        name="Transformer-MLP",
+        application="Attention",
+        layers=tuple(layers),
+    )
+
+
+def build_tiny_attention(d_model: int = 32, seq_len: int = 12,
+                         n_classes: int = 10) -> Network:
+    """A single-path attention chain the sequential simulator can run.
+
+    Every layer consumes its predecessor's output; the score matmul taps
+    the layernorm output through ``weight_source`` and the residual add
+    taps the network input, so the whole chain runs bit-true through
+    :class:`~repro.sim.pipeline.NetworkSimulator` — attention dataflow
+    without a graph IR.
+    """
+    d, s = d_model, seq_len
+    layers: tuple[AnyLayer, ...] = (
+        LayerNormLayer(name="ln0", n_features=d, batch=s),
+        MatMulLayer(name="kproj", in_features=d, out_features=d, batch=s),
+        MatMulLayer(name="score", in_features=d, out_features=s, batch=s,
+                    weight_source="ln0"),
+        SoftmaxLayer(name="attn", n_features=s, batch=s),
+        MatMulLayer(name="mix", in_features=s, out_features=d, batch=s),
+        EltwiseLayer(name="res", op="add", n_features=d, batch=s,
+                     source=NETWORK_INPUT),
+        LayerNormLayer(name="ln1", n_features=d, batch=s),
+        MatMulLayer(name="head", in_features=d, out_features=n_classes,
+                    batch=s),
+    )
+    return Network(
+        name="TinyAttention",
+        application="Attention",
+        layers=layers,
+    )
+
+
+def transformer_precision_spec(network: Network) -> PrecisionSpec:
+    """The int8/bf16 mixed-precision deployment of a transformer net.
+
+    Stored projection/FFN weights drop to int8 (they dominate model
+    size and tolerate it); the parameter-free attention matmuls and the
+    classification head stay bf16 to protect the softmax input range.
+    """
+    overrides: dict[str, str] = {}
+    for layer in network.accelerated_layers():
+        if getattr(layer, "weight_source", None) is not None:
+            overrides[layer.name] = "bf16"
+        elif layer.name.endswith(".head") or layer.name == "head" \
+                or layer.name == "final.head":
+            overrides[layer.name] = "bf16"
+    return PrecisionSpec(default="int8", overrides=overrides)

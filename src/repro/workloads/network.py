@@ -6,23 +6,59 @@ from dataclasses import dataclass, field
 
 from repro.errors import WorkloadError
 from repro.units import BYTES_PER_WORD
-from repro.workloads.layers import ConvLayer, EwopLayer, LayerKind, MatMulLayer
+from repro.workloads.layers import (
+    ACCELERATED_KINDS,
+    HOST_KINDS,
+    ConvLayer,
+    EltwiseLayer,
+    EwopLayer,
+    LayerKind,
+    LayerNormLayer,
+    MatMulLayer,
+    SoftmaxLayer,
+)
 
 AcceleratedLayer = ConvLayer | MatMulLayer
-AnyLayer = ConvLayer | MatMulLayer | EwopLayer
+HostLayer = EwopLayer | EltwiseLayer | SoftmaxLayer | LayerNormLayer
+AnyLayer = AcceleratedLayer | HostLayer
 
 
 @dataclass(frozen=True)
 class OpBreakdown:
-    """Operation counts by category for one network (one inference pass)."""
+    """Operation counts by category for one network (one inference pass).
+
+    ``conv_ops`` and ``mm_ops`` are MACC-bearing (2 ops per MACC); the
+    host categories (``ewop_ops``/``eltwise_ops``/``softmax_ops``/
+    ``norm_ops``) carry zero MACCs — they count scalar host operations
+    and must never feed a per-MACC divisor.
+    """
 
     conv_ops: int
     mm_ops: int
     ewop_ops: int
+    eltwise_ops: int = 0
+    softmax_ops: int = 0
+    norm_ops: int = 0
+
+    @property
+    def host_ops(self) -> int:
+        """All host-executed (0-MACC) operations."""
+        return (self.ewop_ops + self.eltwise_ops + self.softmax_ops
+                + self.norm_ops)
+
+    @property
+    def accelerated_ops(self) -> int:
+        """MACC-bearing operations FTDL schedules (CONV + MM)."""
+        return self.conv_ops + self.mm_ops
 
     @property
     def total_ops(self) -> int:
-        return self.conv_ops + self.mm_ops + self.ewop_ops
+        return self.accelerated_ops + self.host_ops
+
+    @property
+    def maccs(self) -> int:
+        """Total MACCs — host categories contribute exactly zero."""
+        return self.accelerated_ops // 2
 
     @property
     def conv_fraction(self) -> float:
@@ -36,6 +72,10 @@ class OpBreakdown:
     def ewop_fraction(self) -> float:
         return self.ewop_ops / self.total_ops if self.total_ops else 0.0
 
+    @property
+    def host_fraction(self) -> float:
+        return self.host_ops / self.total_ops if self.total_ops else 0.0
+
 
 @dataclass(frozen=True)
 class Network:
@@ -44,7 +84,8 @@ class Network:
     Attributes:
         name: Model name (e.g. ``"GoogLeNet"``).
         application: Table I application label.
-        layers: All layers in execution order, including EWOP entries.
+        layers: All layers in execution order, including host-side
+            (EWOP/eltwise/softmax/norm) entries.
     """
 
     name: str
@@ -66,18 +107,29 @@ class Network:
         """CONV and MM layers, the ones FTDL schedules (in order)."""
         return [
             layer for layer in self.layers
-            if layer.kind in (LayerKind.CONV, LayerKind.MM)
+            if layer.kind in ACCELERATED_KINDS
         ]
+
+    def host_layers(self) -> list[HostLayer]:
+        """Host-CPU layers (EWOP/eltwise/softmax/norm), in order."""
+        return [layer for layer in self.layers if layer.kind in HOST_KINDS]
 
     def ewop_layers(self) -> list[EwopLayer]:
         return [layer for layer in self.layers if layer.kind == LayerKind.EWOP]
 
     def op_breakdown(self) -> OpBreakdown:
         """Per-category operation counts (the Table I percentages)."""
-        conv = sum(l.ops for l in self.layers if l.kind == LayerKind.CONV)
-        mm = sum(l.ops for l in self.layers if l.kind == LayerKind.MM)
-        ewop = sum(l.ops for l in self.layers if l.kind == LayerKind.EWOP)
-        return OpBreakdown(conv_ops=conv, mm_ops=mm, ewop_ops=ewop)
+        by_kind: dict[LayerKind, int] = {kind: 0 for kind in LayerKind}
+        for layer in self.layers:
+            by_kind[layer.kind] += layer.ops
+        return OpBreakdown(
+            conv_ops=by_kind[LayerKind.CONV],
+            mm_ops=by_kind[LayerKind.MM],
+            ewop_ops=by_kind[LayerKind.EWOP],
+            eltwise_ops=by_kind[LayerKind.ELTWISE],
+            softmax_ops=by_kind[LayerKind.SOFTMAX],
+            norm_ops=by_kind[LayerKind.NORM],
+        )
 
     @property
     def weight_words(self) -> int:
@@ -85,11 +137,15 @@ class Network:
 
         Layers sharing a ``weight_group`` (e.g. the per-timestep MM layers
         of an unrolled LSTM) are counted once; the group members must agree
-        on their weight size.
+        on their weight size.  Host layers hold no weights, and layers
+        whose weight port streams run-time activations (``weight_source``)
+        contribute no stored parameters.
         """
         seen: dict[str, int] = {}
         for layer in self.layers:
-            if layer.kind == LayerKind.EWOP:
+            if layer.kind in HOST_KINDS:
+                continue
+            if getattr(layer, "weight_source", None) is not None:
                 continue
             key = getattr(layer, "weight_group", None) or layer.name
             words = layer.weight_words
@@ -109,8 +165,7 @@ class Network:
     @property
     def accelerated_ops(self) -> int:
         """Operations FTDL executes (CONV + MM), per inference."""
-        breakdown = self.op_breakdown()
-        return breakdown.conv_ops + breakdown.mm_ops
+        return self.op_breakdown().accelerated_ops
 
     @property
     def accelerated_maccs(self) -> int:

@@ -1,0 +1,128 @@
+"""One registry of every benchmark workload the stack must support.
+
+The conformance harness (``repro.conformance``) parameterizes over this
+table: registering a workload here is all it takes for the network to be
+pushed through schedule search, bit-true simulation, serving, fault
+masking, and integrity checking.  Two suites today:
+
+* ``"paper"`` — the five Table I networks the FTDL paper validates on.
+* ``"transformer"`` — the attention/MLP family plus a mixed-precision
+  variant, stressing the matmul/host-layer side of the design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.quantization import PrecisionSpec
+from repro.errors import WorkloadError
+from repro.workloads.mlperf import MLPERF_MODELS
+from repro.workloads.models.transformer import (
+    TransformerConfig,
+    build_tiny_attention,
+    build_transformer,
+    build_transformer_mlp,
+    transformer_precision_spec,
+)
+from repro.workloads.network import Network
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One conformance-tracked workload.
+
+    Attributes:
+        name: Registry key (the built network may carry a more specific
+            ``Network.name``, e.g. its exact shape).
+        builder: Zero-argument network factory.
+        suite: Benchmark suite tag (``"paper"`` / ``"transformer"``).
+        sequential: True when every layer consumes its predecessor's
+            output, so the bit-true :class:`~repro.sim.pipeline.
+            NetworkSimulator` can chain the whole network.
+        precision: Optional mixed-precision deployment of the network,
+            evaluated through :func:`repro.analysis.quantization.
+            mixed_precision_report`.
+    """
+
+    name: str
+    builder: Callable[[], Network]
+    suite: str
+    sequential: bool = False
+    precision: Callable[[Network], PrecisionSpec] | None = None
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {}
+_BUILT: dict[str, Network] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add one workload to the registry.
+
+    Raises:
+        WorkloadError: on duplicate names.
+    """
+    if spec.name in WORKLOADS:
+        raise WorkloadError(f"workload {spec.name!r} already registered")
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+def registered_workloads(suite: str | None = None) -> list[WorkloadSpec]:
+    """Every registered workload, optionally filtered to one suite."""
+    return [
+        spec for spec in WORKLOADS.values()
+        if suite is None or spec.suite == suite
+    ]
+
+
+def build_workload(name: str) -> Network:
+    """Build (and memoize) one registered workload's network.
+
+    Raises:
+        WorkloadError: for unknown names.
+    """
+    if name not in WORKLOADS:
+        known = ", ".join(WORKLOADS)
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}")
+    if name not in _BUILT:
+        _BUILT[name] = WORKLOADS[name].builder()
+    return _BUILT[name]
+
+
+# --------------------------------------------------------------------- #
+# The paper's five Table I networks.
+# --------------------------------------------------------------------- #
+for _name, _builder in MLPERF_MODELS.items():
+    register_workload(WorkloadSpec(
+        name=_name, builder=_builder, suite="paper",
+    ))
+
+# --------------------------------------------------------------------- #
+# The transformer/Koios-style suite.
+# --------------------------------------------------------------------- #
+register_workload(WorkloadSpec(
+    name="Transformer-base",
+    builder=lambda: build_transformer(TransformerConfig()),
+    suite="transformer",
+))
+register_workload(WorkloadSpec(
+    name="Transformer-MLP",
+    builder=build_transformer_mlp,
+    suite="transformer",
+    sequential=True,
+))
+register_workload(WorkloadSpec(
+    name="TinyAttention",
+    builder=build_tiny_attention,
+    suite="transformer",
+    sequential=True,
+))
+register_workload(WorkloadSpec(
+    name="Transformer-mixed",
+    builder=lambda: build_transformer(TransformerConfig(
+        d_model=64, n_heads=2, seq_len=16, d_ff=128, n_blocks=1,
+    )),
+    suite="transformer",
+    precision=transformer_precision_spec,
+))

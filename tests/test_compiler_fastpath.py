@@ -217,12 +217,22 @@ def _fuzz_cases(rng: np.random.Generator, n: int):
     """Seeded (layer, config) pairs spanning batches and masked grids."""
     for _ in range(n):
         config = CONFIGS[int(rng.integers(len(CONFIGS)))]
-        if rng.integers(2):
+        draw = int(rng.integers(3))
+        if draw == 0:
             layer = MatMulLayer(
                 "mm",
                 in_features=int(rng.integers(8, 96)),
                 out_features=int(rng.integers(4, 64)),
                 batch=int(2 ** rng.integers(0, 4)),
+            )
+        elif draw == 1:
+            # Attention-style streamed matmul: cache keys must cover it.
+            layer = MatMulLayer(
+                "mm_streamed",
+                in_features=int(rng.integers(4, 32)),
+                out_features=int(rng.integers(4, 32)),
+                batch=int(rng.integers(1, 12)),
+                weight_source="producer",
             )
         else:
             layer = ConvLayer(
@@ -287,6 +297,28 @@ class TestCacheEquivalenceFuzz:
         stats = disk_warm.stats()
         assert stats.persistent_hits == stats.misses > 0
         assert stats.compiles == 0  # the warm start never searched
+
+    def test_transformer_network_paths_identical(self, tmp_path):
+        """The fast paths must agree on a transformer network too: host
+        layers skipped, weight-streaming matmuls keyed like any MM."""
+        from repro.workloads.models import TransformerConfig, build_transformer
+        network = build_transformer(TransformerConfig(
+            d_model=32, n_heads=2, seq_len=8, d_ff=64, n_blocks=1,
+        ))
+        config = OverlayConfig(3, 2, 2)
+        sequential = schedule_network(network, config)
+        parallel = parallel_schedule_network(network, config, max_workers=2)
+        disk_cold = ScheduleCache(
+            config, store=PersistentScheduleStore(tmp_path))
+        cold = [disk_cold.schedule(l) for l in network.accelerated_layers()]
+        disk_warm = ScheduleCache(
+            config, store=PersistentScheduleStore(tmp_path))
+        warm = [disk_warm.schedule(l) for l in network.accelerated_layers()]
+        assert len(sequential) == len(network.accelerated_layers())
+        for seq, par, c, w in zip(sequential, parallel, cold, warm):
+            assert seq.mapping == par.mapping == c.mapping == w.mapping
+            assert seq.estimate == par.estimate == c.estimate == w.estimate
+        assert disk_warm.stats().compiles == 0
 
 
 class TestParallelScheduling:

@@ -214,3 +214,64 @@ def test_reduction_on_x_accumulates_across_passes(rng):
     assert run.golden_match
     # The trace shows the multipass refetch stream.
     assert run.trace.total_words("RD", "psum") > 0
+
+
+streamed_mm_strategy = st.builds(
+    MatMulLayer,
+    name=st.just("fuzz_score"),
+    in_features=st.integers(1, 16),
+    out_features=st.integers(1, 12),
+    batch=st.integers(1, 6),
+    weight_source=st.just("producer"),
+)
+
+
+@_SETTINGS
+@given(layer=streamed_mm_strategy, config=config_strategy,
+       seed=st.integers(0, 99))
+def test_fuzz_streamed_mm_fullstack(layer, config, seed):
+    """Attention-style weight-streaming matmuls compile and simulate
+    exactly like stored-weight ones — streaming is accounting only."""
+    _run_fullstack(layer, config, seed)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    d_model=st.sampled_from([8, 16, 24]),
+    seq_len=st.integers(2, 10),
+    n_classes=st.integers(2, 10),
+    seed=st.integers(0, 99),
+)
+def test_fuzz_tiny_attention_chains_bit_true(d_model, seq_len, n_classes,
+                                             seed):
+    """Random tiny-attention shapes chain end to end through the
+    sequential simulator: every layer golden-checked, reruns identical."""
+    from repro.sim.pipeline import NetworkSimulator
+    from repro.workloads.models import build_tiny_attention
+
+    network = build_tiny_attention(
+        d_model=d_model, seq_len=seq_len, n_classes=n_classes,
+    )
+    config = OverlayConfig(d1=3, d2=2, d3=2)
+    rng = np.random.default_rng(seed)
+    weights = {
+        layer.name: random_layer_operands(layer, rng)[0]
+        for layer in network.accelerated_layers()
+        if getattr(layer, "weight_source", None) is None
+    }
+    first = network.layers[0]
+    inputs = rng.integers(
+        -127, 128, size=(first.n_features, first.batch)
+    ).astype(np.int16)
+    run = NetworkSimulator(config).run(
+        network, inputs, weights, check_golden=True,
+    )
+    assert len(run.stages) == len(network.layers)
+    assert run.output.shape == (n_classes, seq_len)
+    rerun = NetworkSimulator(config).run(
+        network, inputs, weights, check_golden=True,
+    )
+    assert np.array_equal(run.output, rerun.output)
+    assert run.overlay_cycles == rerun.overlay_cycles
+    assert run.host_cycles == rerun.host_cycles

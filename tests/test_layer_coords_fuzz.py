@@ -1,0 +1,198 @@
+"""Property fuzz: host-layer coordinate maps and kernels vs naive enumerators.
+
+Hypothesis draws random shapes and seeds; for every draw the host layers'
+coordinate maps must enumerate their element lattice exactly (a bijection
+onto the output tensor), and the vectorized integer kernels must agree
+element-for-element with naive pure-Python reimplementations driven
+through those coordinate maps.  Weight-streaming matmuls must be
+coordinate-identical to their stored-weight twins — ``weight_source``
+changes accounting, never addressing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.host import eltwise_int16, layernorm_int16, softmax_q15
+from repro.workloads.layers import (
+    EltwiseLayer,
+    LayerNormLayer,
+    MatMulLayer,
+    SoftmaxLayer,
+)
+
+_SETTINGS = settings(max_examples=30, deadline=None)
+
+shape_strategy = st.tuples(st.integers(1, 8), st.integers(1, 6))
+seed_strategy = st.integers(0, 2**31 - 1)
+
+
+def _enumerate(layer):
+    """Every loop index of the layer's element lattice, in nest order."""
+    dims = layer.loop_dims()
+    for values in itertools.product(*(range(d.size) for d in dims)):
+        yield dict(zip((d.name for d in dims), values))
+
+
+def _random_int16(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.integers(-32768, 32768, size=shape).astype(np.int16)
+
+
+def _clip16(v: int) -> int:
+    return max(-32768, min(32767, v))
+
+
+# --------------------------------------------------------------------- #
+# Coordinate maps.
+# --------------------------------------------------------------------- #
+
+@_SETTINGS
+@given(shape=shape_strategy)
+def test_host_coords_are_a_bijection_onto_the_output(shape):
+    f, b = shape
+    for layer in (
+        EltwiseLayer("e", op="add", n_features=f, batch=b),
+        SoftmaxLayer("s", n_features=f, batch=b),
+        LayerNormLayer("n", n_features=f, batch=b),
+    ):
+        out_coords = []
+        for idx in _enumerate(layer):
+            act = layer.act_coord(idx)
+            out = layer.out_coord(idx)
+            assert act == out  # host layers are shape-preserving
+            assert 0 <= out[0] < layer.out_shape()[0]
+            assert 0 <= out[1] < layer.out_shape()[1]
+            out_coords.append(out)
+        assert len(out_coords) == layer.n_elements
+        assert len(set(out_coords)) == layer.n_elements  # bijection
+        assert dict(layer.loop_sizes) == {"F": f, "B": b}
+
+
+@_SETTINGS
+@given(shape=shape_strategy)
+def test_eltwise_src_coord_aligns_with_act_coord(shape):
+    f, b = shape
+    layer = EltwiseLayer("e", op="mul", n_features=f, batch=b, shift=3)
+    for idx in _enumerate(layer):
+        assert layer.src_coord(idx) == layer.act_coord(idx)
+
+
+@_SETTINGS
+@given(
+    in_features=st.integers(1, 12),
+    out_features=st.integers(1, 10),
+    batch=st.integers(1, 4),
+)
+def test_weight_source_mm_is_coordinate_identical(in_features, out_features,
+                                                  batch):
+    stored = MatMulLayer("mm", in_features=in_features,
+                         out_features=out_features, batch=batch)
+    streamed = MatMulLayer("mm", in_features=in_features,
+                           out_features=out_features, batch=batch,
+                           weight_source="producer")
+    assert streamed.loop_dims() == stored.loop_dims()
+    assert streamed.weight_words == stored.weight_words
+    assert streamed.maccs == stored.maccs
+    assert streamed.parameter_words == 0
+    assert stored.parameter_words == stored.weight_words
+    for idx in itertools.islice(_enumerate(stored), 64):
+        assert streamed.weight_coord(idx) == stored.weight_coord(idx)
+        assert streamed.act_coord(idx) == stored.act_coord(idx)
+        assert streamed.out_coord(idx) == stored.out_coord(idx)
+
+
+# --------------------------------------------------------------------- #
+# Kernels vs naive per-element enumerators.
+# --------------------------------------------------------------------- #
+
+@_SETTINGS
+@given(shape=shape_strategy, seed=seed_strategy,
+       op=st.sampled_from(["add", "mul"]), shift=st.integers(0, 16))
+def test_eltwise_matches_naive_enumerator(shape, seed, op, shift):
+    rng = np.random.default_rng(seed)
+    layer = EltwiseLayer("e", op=op, n_features=shape[0], batch=shape[1],
+                         shift=shift)
+    x = _random_int16(rng, shape)
+    y = _random_int16(rng, shape)
+    out = eltwise_int16(x, y, op, shift)
+    assert out.shape == layer.out_shape()
+    for idx in _enumerate(layer):
+        a = int(x[layer.act_coord(idx)])
+        b = int(y[layer.src_coord(idx)])
+        wide = a + b if op == "add" else a * b
+        if shift:
+            wide = (wide + (1 << (shift - 1))) >> shift
+        assert int(out[layer.out_coord(idx)]) == _clip16(wide), idx
+
+
+def _naive_softmax_column(col: list[int], frac_bits: int) -> list[int]:
+    """Scalar transcription of :func:`repro.sim.host.softmax_q15`."""
+    m = max(col)
+    raw = []
+    for x in col:
+        t = ((m - x) * 47274) >> frac_bits
+        int_part, frac = t >> 15, t & 0x7FFF
+        poly = 32768 + ((frac * (21507 + ((11261 * frac) >> 15))) >> 15)
+        inv = (1 << 30) // poly
+        raw.append(0 if int_part >= 40 else inv >> min(int_part, 40))
+    s = sum(raw)
+    return [_clip16((v * 32767 + s // 2) // s) for v in raw]
+
+
+@_SETTINGS
+@given(shape=shape_strategy, seed=seed_strategy,
+       frac_bits=st.integers(0, 14))
+def test_softmax_matches_naive_enumerator(shape, seed, frac_bits):
+    rng = np.random.default_rng(seed)
+    layer = SoftmaxLayer("s", n_features=shape[0], batch=shape[1],
+                         frac_bits=frac_bits)
+    x = _random_int16(rng, shape)
+    out = softmax_q15(x, frac_bits)
+    naive = {}
+    for b in range(shape[1]):
+        col = _naive_softmax_column([int(v) for v in x[:, b]], frac_bits)
+        for f in range(shape[0]):
+            naive[(f, b)] = col[f]
+    for idx in _enumerate(layer):
+        assert int(out[layer.out_coord(idx)]) == naive[layer.act_coord(idx)]
+
+
+def _naive_layernorm_column(col: list[int], out_frac_bits: int) -> list[int]:
+    """Scalar transcription of :func:`repro.sim.host.layernorm_int16`."""
+    n = len(col)
+    s = sum(col)
+    mu = (2 * s + n) // (2 * n)
+    centered = [v - mu for v in col]
+    var_q16 = (sum(v * v for v in centered) << 16) // n
+    std_q8 = max(math.isqrt(var_q16), 1)
+    return [_clip16((v << (out_frac_bits + 8)) // std_q8) for v in centered]
+
+
+@_SETTINGS
+@given(shape=shape_strategy, seed=seed_strategy,
+       out_frac_bits=st.integers(0, 14))
+def test_layernorm_matches_naive_enumerator(shape, seed, out_frac_bits):
+    rng = np.random.default_rng(seed)
+    layer = LayerNormLayer("n", n_features=shape[0], batch=shape[1],
+                           out_frac_bits=out_frac_bits)
+    x = _random_int16(rng, shape)
+    out = layernorm_int16(x, out_frac_bits)
+    for idx in _enumerate(layer):
+        col = _naive_layernorm_column(
+            [int(v) for v in x[:, idx["B"]]], out_frac_bits
+        )
+        assert int(out[layer.out_coord(idx)]) == col[idx["F"]]
+
+
+@_SETTINGS
+@given(shape=shape_strategy, seed=seed_strategy)
+def test_softmax_columns_sum_to_unity(shape, seed):
+    rng = np.random.default_rng(seed)
+    out = softmax_q15(_random_int16(rng, shape), 5).astype(np.int64)
+    sums = out.sum(axis=0)
+    # Per-element round-half-up leaves at most one count per element.
+    assert np.all(np.abs(sums - 32767) <= shape[0])

@@ -104,3 +104,57 @@ def test_forced_x_is_never_suboptimal():
     ).run()[0]
     brute = brute_force_best_cycles(layer, config)
     assert searched.cycles <= brute
+
+
+TRANSFORMER_MICRO_MMS = [
+    # Attention score: run-time weights streamed from the K projection —
+    # streaming must not change the nest the oracle enumerates.
+    MatMulLayer("score", in_features=6, out_features=4, batch=4,
+                weight_source="k"),
+    # Attention mix: softmax scores as the weight operand.
+    MatMulLayer("mix", in_features=4, out_features=4, batch=4),
+    # Skinny classification head (out_features << in_features).
+    MatMulLayer("head", in_features=8, out_features=2, batch=3),
+]
+
+_MICRO_CONFIG = OverlayConfig(
+    d1=2, d2=2, d3=2, s_actbuf_words=32,
+    s_wbuf_words=64, s_psumbuf_words=64,
+)
+
+
+@pytest.mark.parametrize("layer", TRANSFORMER_MICRO_MMS, ids=lambda l: l.name)
+def test_transformer_mm_nests_match_brute_force(layer):
+    searched = ScheduleSearch(
+        layer, _MICRO_CONFIG, spatial_beam=None, temporal_beam=None
+    ).run()[0]
+    assert searched.cycles <= brute_force_best_cycles(layer, _MICRO_CONFIG)
+
+
+@pytest.mark.parametrize("layer", TRANSFORMER_MICRO_MMS, ids=lambda l: l.name)
+def test_conformance_budget_beams_stay_optimal_on_micro_mms(layer):
+    """The conformance harness searches with narrow beams (16/24); on
+    transformer-scale micro matmuls that must not cost any cycles."""
+    full = ScheduleSearch(
+        layer, _MICRO_CONFIG, spatial_beam=None, temporal_beam=None
+    ).run()[0]
+    budget = ScheduleSearch(
+        layer, _MICRO_CONFIG, spatial_beam=16, temporal_beam=24
+    ).run()[0]
+    assert budget.cycles == full.cycles
+
+
+def test_host_nests_are_not_schedulable():
+    """Eltwise/softmax/norm run on the host: the scheduler has no
+    adjacency matrix for them and must refuse, not mis-map."""
+    from repro.errors import MappingError
+    from repro.workloads.layers import (
+        EltwiseLayer, LayerNormLayer, SoftmaxLayer,
+    )
+    for layer in (
+        EltwiseLayer("e", op="add", n_features=4, batch=2),
+        SoftmaxLayer("s", n_features=4, batch=2),
+        LayerNormLayer("n", n_features=4, batch=2),
+    ):
+        with pytest.raises(MappingError):
+            ScheduleSearch(layer, _MICRO_CONFIG).run()

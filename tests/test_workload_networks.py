@@ -6,7 +6,7 @@ from repro.errors import WorkloadError
 from repro.units import BYTES_PER_WORD
 from repro.workloads.layers import ConvLayer, EwopLayer, MatMulLayer
 from repro.workloads.mlperf import MLPERF_MODELS, build_model, table1_rows
-from repro.workloads.network import Network
+from repro.workloads.network import Network, OpBreakdown
 
 
 def _mini_network() -> Network:
@@ -160,3 +160,104 @@ class TestModelStructure:
         net = build_model("AlphaGoZero")
         convs = [l for l in net.accelerated_layers() if l.kind.value == "conv"]
         assert len(convs) == 1 + 9 * 2 + 2  # stem + tower + two head convs
+
+
+def _host_heavy_network() -> Network:
+    """One of each 0-MACC host kind plus one MM, for accounting tests."""
+    from repro.workloads.layers import (
+        EltwiseLayer, LayerNormLayer, SoftmaxLayer,
+    )
+    return Network(
+        name="hosty",
+        application="test",
+        layers=(
+            LayerNormLayer("ln", n_features=8, batch=4),
+            MatMulLayer("fc", in_features=8, out_features=8, batch=4),
+            EltwiseLayer("res", op="add", n_features=8, batch=4, source="@input"),
+            EwopLayer("relu", op="relu", n_elements=32),
+            SoftmaxLayer("sm", n_features=8, batch=4),
+        ),
+    )
+
+
+class TestHostLayerAccounting:
+    """0-MACC layers stay honest: counted as host ops, never as MACCs."""
+
+    def test_host_kinds_carry_zero_maccs_and_weights(self):
+        net = _host_heavy_network()
+        for layer in net.host_layers():
+            assert layer.maccs == 0, layer.name
+            assert layer.weight_words == 0, layer.name
+            assert layer.parameter_words == 0, layer.name
+            assert layer.ops > 0, layer.name
+
+    def test_breakdown_routes_each_kind_to_its_bucket(self):
+        from repro.workloads.layers import (
+            NORM_OPS_PER_ELEMENT, SOFTMAX_OPS_PER_ELEMENT,
+        )
+        b = _host_heavy_network().op_breakdown()
+        assert b.eltwise_ops == 32
+        assert b.ewop_ops == 32
+        assert b.softmax_ops == 32 * SOFTMAX_OPS_PER_ELEMENT
+        assert b.norm_ops == 32 * NORM_OPS_PER_ELEMENT
+        assert b.host_ops == (b.ewop_ops + b.eltwise_ops
+                              + b.softmax_ops + b.norm_ops)
+        assert b.conv_ops == 0
+        assert b.mm_ops == 2 * 8 * 8 * 4
+
+    def test_maccs_ignore_host_ops(self):
+        net = _host_heavy_network()
+        assert net.op_breakdown().maccs == 8 * 8 * 4
+        assert net.accelerated_maccs == 8 * 8 * 4
+
+    def test_fractions_sum_to_one_with_host_kinds(self):
+        b = _host_heavy_network().op_breakdown()
+        assert b.conv_fraction + b.mm_fraction + b.host_fraction == \
+            pytest.approx(1.0)
+
+    def test_empty_breakdown_has_no_divide_by_zero(self):
+        b = OpBreakdown(conv_ops=0, mm_ops=0, ewop_ops=0)
+        assert b.total_ops == 0
+        assert b.maccs == 0
+        assert b.conv_fraction == 0.0
+        assert b.mm_fraction == 0.0
+        assert b.ewop_fraction == 0.0
+        assert b.host_fraction == 0.0
+
+    def test_host_only_network_evaluates_without_division_error(self):
+        from repro.analysis.efficiency import evaluate_network
+        from repro.overlay.config import OverlayConfig
+        from repro.workloads.layers import SoftmaxLayer
+        net = Network(
+            name="host-only", application="test",
+            layers=(SoftmaxLayer("sm", n_features=4, batch=2),),
+        )
+        result = evaluate_network(net, OverlayConfig(d1=3, d2=2, d3=2))
+        assert result.total_cycles == 0
+        assert result.fps == 0.0
+        assert result.hardware_efficiency == 0.0
+        assert result.attained_gops == 0.0
+        assert result.mean_e_wbuf == 0.0
+        assert result.host_ops == net.op_breakdown().host_ops
+
+    def test_host_ops_superset_of_ewop_ops(self):
+        from repro.analysis.efficiency import evaluate_network
+        from repro.overlay.config import OverlayConfig
+        net = _host_heavy_network()
+        result = evaluate_network(net, OverlayConfig(d1=3, d2=2, d3=2))
+        assert result.host_ewop_ops == 32
+        assert result.host_ops > result.host_ewop_ops
+
+    def test_weight_source_layer_stores_no_parameters(self):
+        net = Network(
+            name="streamed", application="test",
+            layers=(
+                MatMulLayer("k", in_features=8, out_features=8, batch=4),
+                MatMulLayer("score", in_features=8, out_features=4, batch=4,
+                            weight_source="k"),
+            ),
+        )
+        assert net.weight_words == 8 * 8
+        score = net.layers[1]
+        assert score.weight_words == 8 * 4  # still sized for scheduling
+        assert score.parameter_words == 0
